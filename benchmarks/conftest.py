@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark suite.
+
+Each bench regenerates one of the paper's tables or figures and prints
+it (run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+rendered output).  The expensive inputs -- the eight synthetic traces
+and the cluster replays -- are built once per session by the context
+fixture; the benchmarks time the analysis/simulation pipeline on top.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+#: Population scale for the bench suite; 0.05 keeps the full suite in
+#: tens of seconds.  Raise to 0.25+ for numbers closer to Table 1's
+#: absolute magnitudes.
+BENCH_SCALE = 0.05
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    context = ExperimentContext(scale=BENCH_SCALE, seed=1991)
+    context.traces()  # build the eight traces once, up front
+    return context
+
+
+@pytest.fixture(scope="session")
+def cluster_ctx(ctx) -> ExperimentContext:
+    ctx.cluster_results()  # replay the normal traces once, up front
+    return ctx

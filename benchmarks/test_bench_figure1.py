@@ -1,0 +1,18 @@
+"""Benchmark: regenerate the paper's figure1 (sequential run lengths).
+
+Prints the reproduced figure1 (run with ``-s``) and times the pipeline
+that produces it from the synthetic traces.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_figure1(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure1", ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.rendered)
+    print(f"Paper: {result.paper_expectation}")
+    assert result.metrics["runs_below_10kb"] > 0.6
+    assert result.metrics["bytes_in_runs_over_1mb"] >= 0.1

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate the paper's figure2 (dynamic file sizes).
+
+Prints the reproduced figure2 (run with ``-s``) and times the pipeline
+that produces it from the synthetic traces.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_figure2(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure2", ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.rendered)
+    print(f"Paper: {result.paper_expectation}")
+    assert result.metrics["accesses_below_10kb"] > 0.6
+    assert result.metrics["bytes_from_files_over_1mb"] > 0.2

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's figure3 (file open times).
+
+Prints the reproduced figure3 (run with ``-s``) and times the pipeline
+that produces it from the synthetic traces.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_figure3(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure3", ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.rendered)
+    print(f"Paper: {result.paper_expectation}")
+    assert result.metrics["opens_below_quarter_second"] > 0.6

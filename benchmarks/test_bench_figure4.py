@@ -1,0 +1,18 @@
+"""Benchmark: regenerate the paper's figure4 (file lifetimes).
+
+Prints the reproduced figure4 (run with ``-s``) and times the pipeline
+that produces it from the synthetic traces.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_figure4(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure4", ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.rendered)
+    print(f"Paper: {result.paper_expectation}")
+    assert result.metrics["files_under_30s"] > 0.5
+    assert result.metrics["bytes_under_30s"] < result.metrics["files_under_30s"]

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate the paper's table1 (overall trace statistics).
+
+Prints the reproduced table1 (run with ``-s``) and times the pipeline
+that produces it from the synthetic traces.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table1(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table1", ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.rendered)
+    print(f"Paper: {result.paper_expectation}")
+    assert result.metrics["total_opens"] > 1000
+    assert result.metrics["max_trace_mbytes_read"] > result.metrics["total_mbytes_read"] / 8

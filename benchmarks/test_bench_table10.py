@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's table10 (consistency action frequency).
+
+Prints the reproduced table10 (run with ``-s``) and times the pipeline
+that produces it from the synthetic traces.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table10(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table10", ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.rendered)
+    print(f"Paper: {result.paper_expectation}")
+    assert 0.0 < result.metrics["write_sharing_fraction"] < 0.02

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's table11 (stale data errors under polling).
+
+Prints the reproduced table11 (run with ``-s``) and times the pipeline
+that produces it from the synthetic traces.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table11(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table11", ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.rendered)
+    print(f"Paper: {result.paper_expectation}")
+    assert result.metrics["error_reduction_factor"] > 2.0

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's table12 (cache consistency overhead).
+
+Prints the reproduced table12 (run with ``-s``) and times the pipeline
+that produces it from the synthetic traces.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table12(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table12", ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.rendered)
+    print(f"Paper: {result.paper_expectation}")
+    assert abs(result.metrics["sprite_byte_ratio"] - 1.0) < 0.1

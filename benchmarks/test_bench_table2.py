@@ -1,0 +1,18 @@
+"""Benchmark: regenerate the paper's table2 (user activity and throughput).
+
+Prints the reproduced table2 (run with ``-s``) and times the pipeline
+that produces it from the synthetic traces.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table2(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table2", ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.rendered)
+    print(f"Paper: {result.paper_expectation}")
+    assert result.metrics["avg_user_throughput_10s_kbs"] > result.metrics["avg_user_throughput_10min_kbs"]
+    assert result.metrics["migration_burst_factor"] > 1.0

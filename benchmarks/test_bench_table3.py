@@ -1,0 +1,18 @@
+"""Benchmark: regenerate the paper's table3 (file access patterns).
+
+Prints the reproduced table3 (run with ``-s``) and times the pipeline
+that produces it from the synthetic traces.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table3(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table3", ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.rendered)
+    print(f"Paper: {result.paper_expectation}")
+    assert result.metrics["read_only_access_share"] > 0.7
+    assert result.metrics["sequential_bytes_fraction"] > 0.9

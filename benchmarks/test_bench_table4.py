@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's table4 (client cache sizes).
+
+Prints the reproduced table4 (run with ``-s``) and times the pipeline
+that produces it from the synthetic traces.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table4(benchmark, cluster_ctx):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table4", cluster_ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.rendered)
+    print(f"Paper: {result.paper_expectation}")
+    assert 1.0 < result.metrics["avg_cache_mb"] < 16.0

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's table5 (traffic sources).
+
+Prints the reproduced table5 (run with ``-s``) and times the pipeline
+that produces it from the synthetic traces.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table5(benchmark, cluster_ctx):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table5", cluster_ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.rendered)
+    print(f"Paper: {result.paper_expectation}")
+    assert 0.1 < result.metrics["paging_share"] < 0.6

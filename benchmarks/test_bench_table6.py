@@ -1,0 +1,18 @@
+"""Benchmark: regenerate the paper's table6 (client cache effectiveness).
+
+Prints the reproduced table6 (run with ``-s``) and times the pipeline
+that produces it from the synthetic traces.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table6(benchmark, cluster_ctx):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table6", cluster_ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.rendered)
+    print(f"Paper: {result.paper_expectation}")
+    assert 0.1 < result.metrics["read_miss_ratio"] < 0.7
+    assert result.metrics["writeback_traffic_ratio"] > 0.6

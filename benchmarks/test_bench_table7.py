@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's table7 (server traffic).
+
+Prints the reproduced table7 (run with ``-s``) and times the pipeline
+that produces it from the synthetic traces.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table7(benchmark, cluster_ctx):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table7", cluster_ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.rendered)
+    print(f"Paper: {result.paper_expectation}")
+    assert 0.3 < result.metrics["global_filter_ratio"] < 0.8

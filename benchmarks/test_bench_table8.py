@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's table8 (cache block replacement).
+
+Prints the reproduced table8 (run with ``-s``) and times the pipeline
+that produces it from the synthetic traces.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table8(benchmark, cluster_ctx):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table8", cluster_ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.rendered)
+    print(f"Paper: {result.paper_expectation}")
+    assert result.metrics["for_file_share"] + result.metrics["for_vm_share"] > 0.99

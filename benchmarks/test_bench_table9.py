@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's table9 (dirty block cleaning).
+
+Prints the reproduced table9 (run with ``-s``) and times the pipeline
+that produces it from the synthetic traces.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table9(benchmark, cluster_ctx):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table9", cluster_ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.rendered)
+    print(f"Paper: {result.paper_expectation}")
+    assert result.metrics["delay_share"] > 0.5

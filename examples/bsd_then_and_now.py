@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Then vs now: the 1985 BSD study against the 1991 reproduction.
+
+The paper's narrative device is comparison with Ousterhout et al.'s
+1985 BSD trace study.  This example measures our synthetic 1991
+workload and prints the paper's headline comparisons: throughput grew
+~20x while compute power grew 200-500x, sequentiality went up, large
+files grew 10x, open times merely halved, and caches miss ~4x more
+than the BSD study predicted.
+
+It finishes with the Section 5.3 network analysis: why Sprite argued
+for memory over local disks.
+
+Run:  python examples/bsd_then_and_now.py
+"""
+
+from repro.analysis.bsd_comparison import (
+    build_comparisons,
+    render_then_vs_now,
+    throughput_vs_compute_gap,
+)
+from repro.experiments import ExperimentContext, run_experiment
+from repro.fs.latency import analyze_paging_latency
+
+
+def main() -> None:
+    ctx = ExperimentContext(scale=0.1, seed=1991)
+    print("Running the Section 4 and 5 pipelines (scale 0.1) ...")
+    table2 = run_experiment("table2", ctx).metrics
+    table3 = run_experiment("table3", ctx).metrics
+    figure3 = run_experiment("figure3", ctx).metrics
+    table6 = run_experiment("table6", ctx).metrics
+    print()
+
+    rows = build_comparisons(
+        throughput_10min_kbs=table2["avg_user_throughput_10min_kbs"],
+        throughput_10s_kbs=table2["avg_user_throughput_10s_kbs"],
+        opens_below_quarter_second=figure3["opens_below_quarter_second"],
+        whole_file_read_fraction=table3["ro_whole_file_share"],
+        sequential_bytes_fraction=table3["sequential_bytes_fraction"],
+        read_miss_ratio=table6["read_miss_ratio"],
+    )
+    print(render_then_vs_now(rows))
+    print()
+    gap = throughput_vs_compute_gap(table2["avg_user_throughput_10min_kbs"])
+    print(f"Compute grew {gap:.0f}x faster than file throughput: users "
+          f"bought latency, not volume.")
+    print()
+
+    analysis = analyze_paging_latency(ctx.cluster_results())
+    print(analysis.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Reproduction of Baker, Hartman, Kupfer, Shirriff & Ousterhout,
+"Measurements of a Distributed File System" (SOSP 1991).
+
+The library contains everything needed to regenerate the paper's tables
+and figures on synthetic Sprite-style workloads:
+
+* :mod:`repro.workload` -- the synthetic trace generator (eight
+  calibrated 24-hour traces).
+* :mod:`repro.trace` -- the trace record format and tooling.
+* :mod:`repro.analysis` -- the "BSD study revisited" analyses
+  (Section 4: Tables 1-3, Figures 1-4).
+* :mod:`repro.fs` -- the Sprite cluster simulator (client caches, VM,
+  delayed writes, consistency, paging, migration).
+* :mod:`repro.caching` -- cache-counter post-processing (Tables 4-9).
+* :mod:`repro.consistency` -- consistency-scheme simulators
+  (Tables 10-12).
+* :mod:`repro.experiments` -- one runnable entry point per table/figure.
+
+Quickstart::
+
+    from repro.workload import generate_standard_traces
+    from repro.experiments import run_experiment
+
+    traces = generate_standard_traces(scale=0.05, seed=1991)
+    result = run_experiment("table2", traces=traces)
+    print(result.rendered)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

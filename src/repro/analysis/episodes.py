@@ -1,0 +1,147 @@
+"""Episode assembly: from raw records to accesses and logical runs.
+
+The paper's Section 4 definitions:
+
+* An **access** is "opening a file, reading and/or writing it, then
+  closing the file" (Table 3 caption).
+* A **sequential run** is "a portion of a file read or written
+  sequentially -- a series of data transfers bounded at the start by an
+  open or reposition operation and at the end by a close or another
+  reposition operation" (Section 4.2).
+
+The trace format stores run *records* that may split one logical run
+into contiguous pieces (a simulator reading a 20-Mbyte input in three
+back-to-back chunks repositions nowhere, so the paper would count one
+run).  The assembler merges contiguous same-kind records back into
+logical runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.trace.records import (
+    CloseRecord,
+    OpenRecord,
+    ReadRunRecord,
+    RepositionRecord,
+    TraceRecord,
+    WriteRunRecord,
+)
+
+
+@dataclass
+class LogicalRun:
+    """One sequential run: contiguous transfer of a single kind."""
+
+    is_write: bool
+    offset: int
+    length: int
+    end_time: float
+
+    @property
+    def end_offset(self) -> int:
+        return self.offset + self.length
+
+
+@dataclass
+class Access:
+    """One complete open..close episode with its logical runs."""
+
+    open_record: OpenRecord
+    close_record: CloseRecord
+    runs: list[LogicalRun] = field(default_factory=list)
+    reposition_count: int = 0
+
+    @property
+    def bytes_read(self) -> int:
+        return sum(run.length for run in self.runs if not run.is_write)
+
+    @property
+    def bytes_written(self) -> int:
+        return sum(run.length for run in self.runs if run.is_write)
+
+    @property
+    def bytes_transferred(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def duration(self) -> float:
+        return self.close_record.time - self.open_record.time
+
+    @property
+    def migrated(self) -> bool:
+        return self.open_record.migrated
+
+    @property
+    def user_id(self) -> int:
+        return self.open_record.user_id
+
+    @property
+    def file_id(self) -> int:
+        return self.open_record.file_id
+
+    @property
+    def size_at_close(self) -> int:
+        return self.close_record.size_at_close
+
+
+def assemble_accesses(records: Iterable[TraceRecord]) -> Iterator[Access]:
+    """Yield completed accesses from a time-ordered record stream.
+
+    Episodes left open at end of stream (a 24-hour window can split an
+    episode) are dropped, exactly as an open/close pairing analysis of
+    the original traces would drop them.
+    """
+    in_progress: dict[int, _PartialAccess] = {}
+
+    for record in records:
+        if isinstance(record, OpenRecord):
+            in_progress[record.open_id] = _PartialAccess(open_record=record)
+        elif isinstance(record, CloseRecord):
+            partial = in_progress.pop(record.open_id, None)
+            if partial is None:
+                continue  # close for an open before the window started
+            yield partial.finish(record)
+        elif isinstance(record, (ReadRunRecord, WriteRunRecord)):
+            partial = in_progress.get(record.open_id)
+            if partial is not None:
+                partial.add_run(record)
+        elif isinstance(record, RepositionRecord):
+            partial = in_progress.get(record.open_id)
+            if partial is not None:
+                partial.reposition_count += 1
+
+
+@dataclass
+class _PartialAccess:
+    open_record: OpenRecord
+    runs: list[LogicalRun] = field(default_factory=list)
+    reposition_count: int = 0
+
+    def add_run(self, record: ReadRunRecord | WriteRunRecord) -> None:
+        is_write = isinstance(record, WriteRunRecord)
+        if self.runs:
+            last = self.runs[-1]
+            if last.is_write == is_write and last.end_offset == record.offset:
+                # Contiguous continuation of the same logical run.
+                last.length += record.length
+                last.end_time = record.time
+                return
+        self.runs.append(
+            LogicalRun(
+                is_write=is_write,
+                offset=record.offset,
+                length=record.length,
+                end_time=record.time,
+            )
+        )
+
+    def finish(self, close_record: CloseRecord) -> Access:
+        return Access(
+            open_record=self.open_record,
+            close_record=close_record,
+            runs=self.runs,
+            reposition_count=self.reposition_count,
+        )

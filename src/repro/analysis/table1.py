@@ -1,0 +1,138 @@
+"""Table 1: overall trace statistics.
+
+One row of counters per trace: users, Mbytes moved, and event counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.common.render import format_number, render_table
+from repro.common.units import HOUR, bytes_to_mbytes
+from repro.trace.records import (
+    CloseRecord,
+    DeleteRecord,
+    DirectoryReadRecord,
+    OpenRecord,
+    ReadRunRecord,
+    RepositionRecord,
+    SharedReadRecord,
+    SharedWriteRecord,
+    TraceRecord,
+    TruncateRecord,
+    WriteRunRecord,
+)
+
+
+@dataclass
+class TraceStatistics:
+    """The Table 1 row for one trace."""
+
+    name: str = ""
+    duration_hours: float = 0.0
+    users: set[int] = field(default_factory=set)
+    migration_users: set[int] = field(default_factory=set)
+    bytes_read: int = 0
+    bytes_written: int = 0
+    directory_bytes_read: int = 0
+    open_events: int = 0
+    close_events: int = 0
+    reposition_events: int = 0
+    delete_events: int = 0
+    truncate_events: int = 0
+    shared_read_events: int = 0
+    shared_write_events: int = 0
+
+    @property
+    def different_users(self) -> int:
+        return len(self.users)
+
+    @property
+    def users_of_migration(self) -> int:
+        return len(self.migration_users)
+
+    @property
+    def mbytes_read(self) -> float:
+        return bytes_to_mbytes(self.bytes_read)
+
+    @property
+    def mbytes_written(self) -> float:
+        return bytes_to_mbytes(self.bytes_written)
+
+    @property
+    def mbytes_read_from_directories(self) -> float:
+        return bytes_to_mbytes(self.directory_bytes_read)
+
+
+def compute_table1(
+    name: str, records: Iterable[TraceRecord], duration: float
+) -> TraceStatistics:
+    """Scan one trace and produce its Table 1 row."""
+    stats = TraceStatistics(name=name, duration_hours=duration / HOUR)
+    for record in records:
+        user = getattr(record, "user_id", None)
+        if user is not None and user >= 0:
+            stats.users.add(user)
+            if getattr(record, "migrated", False):
+                stats.migration_users.add(user)
+        if isinstance(record, OpenRecord):
+            stats.open_events += 1
+        elif isinstance(record, CloseRecord):
+            stats.close_events += 1
+        elif isinstance(record, ReadRunRecord):
+            stats.bytes_read += record.length
+        elif isinstance(record, WriteRunRecord):
+            stats.bytes_written += record.length
+        elif isinstance(record, RepositionRecord):
+            stats.reposition_events += 1
+        elif isinstance(record, DeleteRecord):
+            stats.delete_events += 1
+        elif isinstance(record, TruncateRecord):
+            stats.truncate_events += 1
+        elif isinstance(record, SharedReadRecord):
+            stats.shared_read_events += 1
+        elif isinstance(record, SharedWriteRecord):
+            stats.shared_write_events += 1
+        elif isinstance(record, DirectoryReadRecord):
+            stats.directory_bytes_read += record.length
+    return stats
+
+
+#: Table 1 row labels, in the paper's order, with accessor names.
+_ROWS: tuple[tuple[str, str], ...] = (
+    ("Trace duration (hours)", "duration_hours"),
+    ("Different users", "different_users"),
+    ("Users of migration", "users_of_migration"),
+    ("Mbytes read from files", "mbytes_read"),
+    ("Mbytes written to files", "mbytes_written"),
+    ("Mbytes read from directories", "mbytes_read_from_directories"),
+    ("Open events", "open_events"),
+    ("Close events", "close_events"),
+    ("Reposition events", "reposition_events"),
+    ("Delete events", "delete_events"),
+    ("Truncate events", "truncate_events"),
+    ("Shared Read events", "shared_read_events"),
+    ("Shared Write events", "shared_write_events"),
+)
+
+
+def render_table1(per_trace: list[TraceStatistics]) -> str:
+    """Render all traces side by side, like the paper's Table 1."""
+    headers = ["Statistic"] + [stats.name for stats in per_trace]
+    rows = []
+    for label, attr in _ROWS:
+        row = [label]
+        for stats in per_trace:
+            value = getattr(stats, attr)
+            row.append(format_number(float(value), 1))
+        rows.append(row)
+    return render_table(
+        "Table 1. Overall trace statistics",
+        headers,
+        rows,
+        note=(
+            "Synthetic traces; totals scale with the generation `scale` "
+            "factor (multiply by 1/scale to compare with the paper)."
+        ),
+    )

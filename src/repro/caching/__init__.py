@@ -1,0 +1,41 @@
+"""Section 5 post-processing: from counter snapshots to Tables 4-9.
+
+The paper's tables report *averages of per-machine daily values*: "The
+numbers in parentheses are the standard deviations of the daily
+averages for individual machines relative to the overall long-term
+average across all machines and days."  Every module here therefore
+computes its ratios per machine-day first (one client in one replayed
+trace) and then averages across machine-days, exactly as the authors
+post-processed their counter files.
+"""
+
+from repro.caching.aggregate import MachineDay, machine_days
+from repro.caching.cache_sizes import CacheSizeResult, compute_cache_sizes
+from repro.caching.traffic import TrafficResult, compute_traffic_sources
+from repro.caching.effectiveness import (
+    EffectivenessResult,
+    compute_effectiveness,
+)
+from repro.caching.server_traffic import (
+    ServerTrafficResult,
+    compute_server_traffic,
+)
+from repro.caching.replacement import ReplacementResult, compute_replacement
+from repro.caching.cleaning import CleaningResult, compute_cleaning
+
+__all__ = [
+    "MachineDay",
+    "machine_days",
+    "CacheSizeResult",
+    "compute_cache_sizes",
+    "TrafficResult",
+    "compute_traffic_sources",
+    "EffectivenessResult",
+    "compute_effectiveness",
+    "ServerTrafficResult",
+    "compute_server_traffic",
+    "ReplacementResult",
+    "compute_replacement",
+    "CleaningResult",
+    "compute_cleaning",
+]

@@ -1,0 +1,57 @@
+"""Machine-day extraction from cluster results.
+
+A *machine-day* is one client over one replayed trace: the unit the
+paper averages over.  Idle machines (too few operations to have
+meaningful ratios) are screened out, mirroring the paper's screening of
+inactive intervals and counter-file artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fs.cluster import ClusterResult
+from repro.fs.counters import ClientCounters, CounterSnapshot
+
+
+@dataclass
+class MachineDay:
+    """One client's counters over one trace day."""
+
+    client_id: int
+    trace_index: int
+    counters: ClientCounters
+    snapshots: list[CounterSnapshot]
+
+    @property
+    def active(self) -> bool:
+        """Did this machine see enough work for its ratios to mean
+        anything?  (A handful of opens is noise.)"""
+        return self.counters.file_open_ops >= 20
+
+
+def machine_days(
+    results: list[ClusterResult], only_active: bool = True
+) -> list[MachineDay]:
+    """Split cluster results into per-machine-day summaries."""
+    days: list[MachineDay] = []
+    for trace_index, result in enumerate(results):
+        for client_id, counters in result.final_counters.items():
+            day = MachineDay(
+                client_id=client_id,
+                trace_index=trace_index,
+                counters=counters,
+                snapshots=result.snapshots.get(client_id, []),
+            )
+            if only_active and not day.active:
+                continue
+            days.append(day)
+    return days
+
+
+def ratio(numerator: float, denominator: float) -> float | None:
+    """A guarded ratio: None when the denominator is empty, so empty
+    machine-days don't contribute fake zeros to the averages."""
+    if denominator <= 0:
+        return None
+    return numerator / denominator

@@ -1,0 +1,76 @@
+"""Table 8: cache block replacement.
+
+For each machine-day: what fraction of replaced blocks made room for
+another file block versus being handed to the virtual memory system,
+and how long replaced blocks had gone unreferenced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.caching.aggregate import MachineDay, ratio
+from repro.common.render import format_with_spread, render_table
+from repro.common.stats import RunningStat
+
+
+@dataclass
+class ReplacementResult:
+    """Table 8's shares and ages."""
+
+    for_file_share: RunningStat = field(default_factory=RunningStat)
+    for_vm_share: RunningStat = field(default_factory=RunningStat)
+    age_file_minutes: RunningStat = field(default_factory=RunningStat)
+    age_vm_minutes: RunningStat = field(default_factory=RunningStat)
+
+    def render(self) -> str:
+        rows = [
+            [
+                "Another file block",
+                format_with_spread(
+                    100 * self.for_file_share.mean,
+                    100 * self.for_file_share.stddev,
+                    1,
+                ),
+                format_with_spread(
+                    self.age_file_minutes.mean, self.age_file_minutes.stddev, 1
+                ),
+            ],
+            [
+                "Virtual memory page",
+                format_with_spread(
+                    100 * self.for_vm_share.mean, 100 * self.for_vm_share.stddev, 1
+                ),
+                format_with_spread(
+                    self.age_vm_minutes.mean, self.age_vm_minutes.stddev, 1
+                ),
+            ],
+        ]
+        return render_table(
+            "Table 8. Cache block replacement",
+            ["New contents", "Blocks replaced (%)", "Age (minutes)"],
+            rows,
+            note=(
+                "Paper: 79.4% replaced for file blocks (age ~67 min), "
+                "20.6% for virtual memory (age ~48 min)."
+            ),
+        )
+
+
+def compute_replacement(days: list[MachineDay]) -> ReplacementResult:
+    """Compute Table 8 over a set of machine-days."""
+    result = ReplacementResult()
+    for day in days:
+        c = day.counters
+        total = c.blocks_replaced_for_file + c.blocks_replaced_for_vm
+        if total <= 0:
+            continue
+        result.for_file_share.add(c.blocks_replaced_for_file / total)
+        result.for_vm_share.add(c.blocks_replaced_for_vm / total)
+        age_file = ratio(c.replace_age_sum_file, c.blocks_replaced_for_file)
+        if age_file is not None:
+            result.age_file_minutes.add(age_file / 60.0)
+        age_vm = ratio(c.replace_age_sum_vm, c.blocks_replaced_for_vm)
+        if age_vm is not None:
+            result.age_vm_minutes.add(age_vm / 60.0)
+    return result

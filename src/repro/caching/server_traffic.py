@@ -1,0 +1,121 @@
+"""Table 7: traffic between clients and the server.
+
+The same byte streams as Table 5, but *after* the client caches have
+filtered them: read-miss fetches, writebacks, write fetches, paging,
+write-shared passthrough, and directory reads.  Shares are per
+machine-day percentages of that machine's server traffic, averaged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.caching.aggregate import MachineDay, ratio
+from repro.common.render import format_with_spread, render_table
+from repro.common.stats import RunningStat
+
+_ROWS: tuple[tuple[str, str], ...] = (
+    ("File reads (cache misses + write fetches)", "file_reads"),
+    ("File writes (writebacks)", "file_writes"),
+    ("Paging (backing + code/data misses)", "paging"),
+    ("Write-shared passthrough", "write_shared"),
+    ("Directory reads", "directories"),
+)
+
+
+@dataclass
+class ServerTrafficResult:
+    """Table 7's shares plus the headline filter ratio."""
+
+    shares: dict[str, RunningStat] = field(
+        default_factory=lambda: {name: RunningStat() for _, name in _ROWS}
+    )
+    #: server bytes / raw bytes -- the "caches filter 50%" headline.
+    #: Per-machine-day distribution; the paper's single number is the
+    #: *global* ratio, reported separately below.
+    filter_ratio: RunningStat = field(default_factory=RunningStat)
+    global_server_bytes: int = 0
+    global_raw_bytes: int = 0
+    #: reads:writes at the server (non-paging), paper ~2:1.
+    read_write_ratio: RunningStat = field(default_factory=RunningStat)
+
+    def render(self) -> str:
+        rows = []
+        for label, name in _ROWS:
+            stat = self.shares[name]
+            rows.append(
+                [label, format_with_spread(100 * stat.mean, 100 * stat.stddev, 1)]
+            )
+        rows.append(
+            [
+                "Server traffic / raw traffic (per machine)",
+                format_with_spread(
+                    100 * self.filter_ratio.mean, 100 * self.filter_ratio.stddev, 1
+                ),
+            ]
+        )
+        global_ratio = (
+            self.global_server_bytes / self.global_raw_bytes
+            if self.global_raw_bytes
+            else 0.0
+        )
+        rows.append(
+            ["Server traffic / raw traffic (overall)", f"{100 * global_ratio:.1f}"]
+        )
+        rows.append(
+            [
+                "Non-paging read:write ratio",
+                format_with_spread(
+                    self.read_write_ratio.mean, self.read_write_ratio.stddev, 2
+                ),
+            ]
+        )
+        return render_table(
+            "Table 7. Server traffic (percent of server bytes)",
+            ["Type", "Share (std dev)"],
+            rows,
+            note=(
+                "Paper: paging ~35% of server bytes; write-shared ~1%; "
+                "client caches filter out ~50% of raw traffic; non-paging "
+                "reads:writes ~2:1."
+            ),
+        )
+
+
+def compute_server_traffic(days: list[MachineDay]) -> ServerTrafficResult:
+    """Compute Table 7 over a set of machine-days."""
+    result = ServerTrafficResult()
+    for day in days:
+        c = day.counters
+        total = c.server_bytes
+        if total <= 0:
+            continue
+        paging = (
+            c.paging_backing_bytes_read
+            + c.paging_backing_bytes_written
+            + c.paging_read_miss_bytes
+        )
+        file_reads = (
+            c.cache_read_miss_bytes - c.paging_read_miss_bytes
+        ) + c.write_fetch_bytes
+        values = {
+            "file_reads": file_reads,
+            "file_writes": c.bytes_written_to_server,
+            "paging": paging,
+            "write_shared": c.shared_bytes_read + c.shared_bytes_written,
+            "directories": c.directory_bytes_read,
+        }
+        for name, value in values.items():
+            share = ratio(value, total)
+            if share is not None:
+                result.shares[name].add(share)
+        if c.raw_total_bytes > 0:
+            result.filter_ratio.add(total / c.raw_total_bytes)
+        result.global_server_bytes += total
+        result.global_raw_bytes += c.raw_total_bytes
+        server_reads = file_reads + c.shared_bytes_read + c.directory_bytes_read
+        server_writes = c.bytes_written_to_server + c.shared_bytes_written
+        rw = ratio(server_reads, server_writes)
+        if rw is not None:
+            result.read_write_ratio.add(rw)
+    return result

@@ -1,0 +1,101 @@
+"""Table 5: sources of raw traffic presented to the client OS.
+
+Each entry is a percent of all raw traffic (before any caching), split
+into cacheable file traffic, cacheable paging (code and initialized
+data), and the uncacheable remainder (write-shared files, directories,
+backing files).  Percentages are computed per machine-day and averaged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.caching.aggregate import MachineDay, ratio
+from repro.common.render import format_with_spread, render_table
+from repro.common.stats import RunningStat
+
+
+_ROWS: tuple[tuple[str, str], ...] = (
+    ("Cached file reads", "cached_file_reads"),
+    ("Cached file writes", "cached_file_writes"),
+    ("Cached paging (code)", "paging_code"),
+    ("Cached paging (data)", "paging_data"),
+    ("Uncacheable paging (backing files)", "paging_backing"),
+    ("Uncacheable write-shared", "write_shared"),
+    ("Uncacheable directory reads", "directories"),
+)
+
+
+@dataclass
+class TrafficResult:
+    """Table 5's per-source shares (percent of raw bytes)."""
+
+    shares: dict[str, RunningStat] = field(
+        default_factory=lambda: {name: RunningStat() for _, name in _ROWS}
+    )
+    #: Convenience aggregates.
+    paging_share: RunningStat = field(default_factory=RunningStat)
+    uncacheable_share: RunningStat = field(default_factory=RunningStat)
+
+    def render(self) -> str:
+        rows = []
+        for label, name in _ROWS:
+            stat = self.shares[name]
+            rows.append(
+                [label, format_with_spread(100 * stat.mean, 100 * stat.stddev, 1)]
+            )
+        rows.append(
+            [
+                "All paging",
+                format_with_spread(
+                    100 * self.paging_share.mean, 100 * self.paging_share.stddev, 1
+                ),
+            ]
+        )
+        rows.append(
+            [
+                "All uncacheable",
+                format_with_spread(
+                    100 * self.uncacheable_share.mean,
+                    100 * self.uncacheable_share.stddev,
+                    1,
+                ),
+            ]
+        )
+        return render_table(
+            "Table 5. Traffic sources (percent of raw bytes)",
+            ["Source", "Share (std dev)"],
+            rows,
+            note=(
+                "Paper: ~20% of raw traffic is uncacheable, mostly paging; "
+                "paging is ~35% of bytes; write-shared traffic is under 1%."
+            ),
+        )
+
+
+def compute_traffic_sources(days: list[MachineDay]) -> TrafficResult:
+    """Compute Table 5 over a set of machine-days."""
+    result = TrafficResult()
+    for day in days:
+        c = day.counters
+        total = c.raw_total_bytes
+        if total <= 0:
+            continue
+        values = {
+            "cached_file_reads": c.file_bytes_read,
+            "cached_file_writes": c.file_bytes_written,
+            "paging_code": c.paging_code_bytes,
+            "paging_data": c.paging_data_bytes,
+            "paging_backing": (
+                c.paging_backing_bytes_read + c.paging_backing_bytes_written
+            ),
+            "write_shared": c.shared_bytes_read + c.shared_bytes_written,
+            "directories": c.directory_bytes_read,
+        }
+        for name, value in values.items():
+            share = ratio(value, total)
+            if share is not None:
+                result.shares[name].add(share)
+        result.paging_share.add(c.raw_paging_bytes / total)
+        result.uncacheable_share.add(c.uncacheable_bytes / total)
+    return result

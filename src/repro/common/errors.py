@@ -1,0 +1,44 @@
+"""Exception hierarchy for the reproduction library.
+
+Everything raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing genuine bugs (``TypeError``, ``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class TraceError(ReproError):
+    """A trace file or trace record stream violates the trace grammar."""
+
+
+class TraceOrderError(TraceError):
+    """Records presented out of timestamp order where order is required."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an impossible state."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or on a finished engine."""
+
+
+class CacheError(SimulationError):
+    """A cache invariant was violated (double insert, missing block, ...)."""
+
+
+class ConsistencyError(SimulationError):
+    """A cache-consistency protocol invariant was violated."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was asked to process data it cannot interpret."""

@@ -1,0 +1,98 @@
+"""Fixed-width interval accumulators.
+
+Table 2 divides each trace into 10-minute and 10-second intervals and
+computes per-interval active-user counts and per-user throughput;
+Table 4 measures cache-size change over 15-minute and 60-minute
+intervals.  :class:`IntervalAccumulator` does the bucketing once so each
+analysis only supplies a fold function.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Generic, Iterator, TypeVar
+
+from repro.common.errors import AnalysisError
+
+V = TypeVar("V")
+
+
+def interval_index(time: float, width: float, origin: float = 0.0) -> int:
+    """Index of the fixed-width interval containing ``time``."""
+    if width <= 0:
+        raise ValueError(f"interval width must be positive, got {width}")
+    return math.floor((time - origin) / width)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A half-open time interval [start, end)."""
+
+    index: int
+    start: float
+    end: float
+
+
+class IntervalAccumulator(Generic[V]):
+    """Groups timestamped observations into fixed-width intervals.
+
+    ``factory`` builds a fresh per-interval state; ``fold`` merges one
+    observation into it.  Observations may arrive in any time order.
+    """
+
+    def __init__(
+        self,
+        width: float,
+        factory: Callable[[], V],
+        origin: float = 0.0,
+    ) -> None:
+        if width <= 0:
+            raise ValueError(f"interval width must be positive, got {width}")
+        self.width = width
+        self.origin = origin
+        self._factory = factory
+        self._buckets: dict[int, V] = {}
+
+    def observe(self, time: float) -> V:
+        """Return (creating if needed) the state for the interval at
+        ``time`` so the caller can fold into it."""
+        index = interval_index(time, self.width, self.origin)
+        state = self._buckets.get(index)
+        if state is None:
+            state = self._factory()
+            self._buckets[index] = state
+        return state
+
+    def interval_for(self, index: int) -> Interval:
+        """The time bounds of interval ``index``."""
+        start = self.origin + index * self.width
+        return Interval(index=index, start=start, end=start + self.width)
+
+    @property
+    def bucket_count(self) -> int:
+        """How many distinct intervals saw at least one observation."""
+        return len(self._buckets)
+
+    def items(self) -> Iterator[tuple[Interval, V]]:
+        """Iterate non-empty intervals in time order."""
+        for index in sorted(self._buckets):
+            yield self.interval_for(index), self._buckets[index]
+
+    def values(self) -> Iterator[V]:
+        """Iterate per-interval states in time order."""
+        for _, state in self.items():
+            yield state
+
+
+def span_intervals(start: float, end: float, width: float) -> Iterator[Interval]:
+    """All fixed-width intervals overlapping [start, end)."""
+    if end < start:
+        raise AnalysisError(f"interval span ends before it starts: {start}..{end}")
+    first = interval_index(start, width)
+    last = interval_index(end, width) if end > start else first
+    # A point exactly on a boundary belongs only to the interval it opens.
+    if end > start and end == last * width:
+        last -= 1
+    for index in range(first, last + 1):
+        yield Interval(index=index, start=index * width, end=(index + 1) * width)

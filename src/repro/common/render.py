@@ -1,0 +1,140 @@
+"""Plain-text rendering for tables and CDF figures.
+
+Every experiment ends by printing something that looks like the paper's
+table or figure, next to the paper's own numbers where we have them, so
+the shape comparison is visible straight from the bench harness output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.common.cdf import Cdf
+
+
+def format_number(value: float, precision: int = 1) -> str:
+    """Format a number the way the paper's tables do.
+
+    Integers print without a decimal point; everything else with the
+    requested precision.  NaN prints as ``NA`` (the paper's marker for
+    unavailable measurements).
+    """
+    if isinstance(value, float) and math.isnan(value):
+        return "NA"
+    if float(value).is_integer() and abs(value) >= 10:
+        return f"{int(value):d}"
+    return f"{value:.{precision}f}"
+
+
+def format_with_spread(mean: float, spread: float, precision: int = 1) -> str:
+    """``mean (spread)`` -- the paper's mean-with-standard-deviation cell."""
+    return f"{format_number(mean, precision)} ({format_number(spread, precision)})"
+
+
+def format_with_range(
+    value: float, low: float, high: float, precision: int = 2
+) -> str:
+    """``value (low-high)`` -- the paper's value-with-min/max cell."""
+    return (
+        f"{format_number(value, precision)} "
+        f"({format_number(low, precision)}-{format_number(high, precision)})"
+    )
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    note: str | None = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells but table has {columns} columns: {row}"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows), 1)
+        if rows
+        else len(str(headers[i]))
+        for i in range(columns)
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(cells))
+
+    rule = "-" * (sum(widths) + 2 * (columns - 1))
+    lines = [title, "=" * len(title), fmt_row(headers), rule]
+    lines.extend(fmt_row(row) for row in rows)
+    if note:
+        lines.append("")
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def render_cdf_figure(
+    title: str,
+    curves: dict[str, Cdf],
+    xlabel: str,
+    probe_values: Sequence[float],
+    value_formatter=None,
+    width: int = 60,
+) -> str:
+    """Render a family of CDFs as an ASCII chart plus a probe table.
+
+    ``probe_values`` picks the x positions reported in the companion
+    table (the paper's figures are read off at round values like 1 KB,
+    10 KB, ...).
+    """
+    if not curves:
+        raise ValueError("no curves to render")
+    fmt = value_formatter or (lambda v: format_number(v, 3))
+    lines = [title, "=" * len(title)]
+
+    # Probe table: one row per probe value, one column per curve.
+    headers = [xlabel] + list(curves)
+    rows = []
+    for probe in probe_values:
+        row = [fmt(probe)]
+        for cdf in curves.values():
+            row.append(f"{100 * cdf.fraction_at_or_below(probe):5.1f}%")
+        rows.append(row)
+    lines.append(
+        render_table(f"Cumulative % at or below {xlabel}", headers, rows)
+    )
+
+    # ASCII sparkline per curve over the probe range.
+    lines.append("")
+    for name, cdf in curves.items():
+        bar_cells = []
+        for probe in probe_values:
+            frac = cdf.fraction_at_or_below(probe)
+            bar_cells.append("_.:-=+*#%@"[min(9, int(frac * 10))])
+        lines.append(f"{name:>24}  |{''.join(bar_cells)}|  (0..100% across probes)")
+    return "\n".join(lines)
+
+
+def byte_label(value: float) -> str:
+    """Human-readable byte axis label (100, 1K, 10K, 1M, ...)."""
+    if value >= 1024 * 1024 * 1024:
+        return f"{value / (1024 * 1024 * 1024):g}G"
+    if value >= 1024 * 1024:
+        return f"{value / (1024 * 1024):g}M"
+    if value >= 1024:
+        return f"{value / 1024:g}K"
+    return f"{value:g}"
+
+
+def seconds_label(value: float) -> str:
+    """Human-readable time axis label (10ms, 1s, 5m, 2h, 1d)."""
+    if value < 1.0:
+        return f"{value * 1000:g}ms"
+    if value < 60:
+        return f"{value:g}s"
+    if value < 3600:
+        return f"{value / 60:g}m"
+    if value < 86400:
+        return f"{value / 3600:g}h"
+    return f"{value / 86400:g}d"

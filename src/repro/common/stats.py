@@ -1,0 +1,206 @@
+"""Running statistics and histograms.
+
+The paper reports nearly everything as an average with a standard
+deviation in parentheses, or as a min--max band over the eight traces.
+:class:`RunningStat` implements Welford's online algorithm so simulator
+counters never need to retain raw samples; :class:`Histogram` retains
+bucketed counts for distribution-shaped results.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+class RunningStat:
+    """Online mean / variance / min / max via Welford's algorithm."""
+
+    __slots__ = ("count", "_mean", "_m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float, weight: int = 1) -> None:
+        """Fold one observation (optionally repeated ``weight`` times) in."""
+        if weight < 0:
+            raise ValueError(f"negative weight: {weight}")
+        for _ in range(weight):
+            self.count += 1
+            delta = value - self._mean
+            self._mean += delta / self.count
+            self._m2 += delta * (value - self._mean)
+        if weight:
+            self.minimum = min(self.minimum, value)
+            self.maximum = max(self.maximum, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold in many observations."""
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "RunningStat") -> None:
+        """Combine another accumulator into this one (parallel merge)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 with fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def total(self) -> float:
+        """Sum of all observations."""
+        return self._mean * self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunningStat(n={self.count}, mean={self.mean:.4g}, "
+            f"sd={self.stddev:.4g})"
+        )
+
+
+@dataclass
+class MinMax:
+    """Tracks the min--max band of per-trace values (the parenthesized
+    ranges in Tables 3, 10, 11, and 12)."""
+
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def add(self, value: float) -> None:
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def empty(self) -> bool:
+        return self.minimum > self.maximum
+
+    def as_tuple(self) -> tuple[float, float]:
+        if self.empty:
+            raise ValueError("no values recorded")
+        return (self.minimum, self.maximum)
+
+
+@dataclass
+class Histogram:
+    """A histogram over explicit bucket edges.
+
+    ``edges`` are the *upper* bounds of each bucket; a final overflow
+    bucket catches everything larger.  Values are accumulated with an
+    arbitrary non-negative weight so the same class serves count-weighted
+    and byte-weighted distributions.
+    """
+
+    edges: list[float]
+    counts: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        if any(b >= a for b, a in zip(self.edges, self.edges[1:])):
+            raise ValueError(f"bucket edges must be strictly increasing: {self.edges}")
+        if not self.counts:
+            self.counts = [0.0] * (len(self.edges) + 1)
+        elif len(self.counts) != len(self.edges) + 1:
+            raise ValueError("counts length must be len(edges) + 1")
+
+    def add(self, value: float, weight: float = 1.0) -> None:
+        """Add ``weight`` mass at ``value``."""
+        if weight < 0:
+            raise ValueError(f"negative weight: {weight}")
+        self.counts[self._bucket(value)] += weight
+
+    def _bucket(self, value: float) -> int:
+        lo, hi = 0, len(self.edges)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.edges[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    @property
+    def total(self) -> float:
+        return sum(self.counts)
+
+    def fraction_at_or_below(self, value: float) -> float:
+        """Cumulative fraction of mass at or below ``value``."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        bucket = self._bucket(value)
+        return sum(self.counts[: bucket + 1]) / total
+
+    def buckets(self) -> Iterator[tuple[float, float]]:
+        """Yield (upper_edge, mass) pairs; the overflow bucket reports
+        ``math.inf`` as its edge."""
+        for edge, count in zip(self.edges, self.counts):
+            yield edge, count
+        yield math.inf, self.counts[-1]
+
+
+def geometric_edges(start: float, stop: float, per_decade: int = 4) -> list[float]:
+    """Geometrically spaced bucket edges from ``start`` to ``stop``.
+
+    The paper's log-scale figures span bytes from ~100 to 10 MB and times
+    from 10 ms to days; geometric buckets give uniform resolution on the
+    log axis.
+    """
+    if start <= 0 or stop <= start:
+        raise ValueError(f"need 0 < start < stop, got {start}, {stop}")
+    if per_decade <= 0:
+        raise ValueError(f"per_decade must be positive, got {per_decade}")
+    ratio = 10.0 ** (1.0 / per_decade)
+    edges = [start]
+    while edges[-1] < stop:
+        edges.append(edges[-1] * ratio)
+    return edges
+
+
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    """Linear-interpolated percentile of an already-sorted list."""
+    if not sorted_values:
+        raise ValueError("cannot take a percentile of no data")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction out of range: {fraction}")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = fraction * (len(sorted_values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    weight = position - lower
+    return sorted_values[lower] * (1.0 - weight) + sorted_values[upper] * weight

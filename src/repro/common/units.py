@@ -1,0 +1,107 @@
+"""Physical constants and unit helpers for the measured system.
+
+These are the numbers the paper states about the Sprite cluster and its
+caching policies.  Everything that models Sprite behaviour imports its
+constants from here, so an ablation (say, a 60-second delayed write) can
+be expressed by overriding a config field rather than editing policy code.
+"""
+
+from __future__ import annotations
+
+# --- byte units -----------------------------------------------------------
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Sprite caches file data in 4-Kbyte blocks on both clients and servers.
+BLOCK_SIZE = 4 * KB
+
+# --- time units (simulated seconds) ---------------------------------------
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 24 * HOUR
+
+#: Delay before dirty data is written from a client cache to the server.
+DELAYED_WRITE_SECONDS = 30.0
+
+#: The writeback daemon scans the cache for 30-second-old dirty data
+#: every 5 seconds.
+WRITEBACK_SCAN_INTERVAL = 5.0
+
+#: A physical page used by the virtual memory system cannot be taken by
+#: the file cache unless it has been unreferenced for at least 20 minutes.
+VM_PREFERENCE_SECONDS = 20 * MINUTE
+
+#: The paper reports on 10-minute steady-state and 10-second burst windows.
+TEN_MINUTES = 10 * MINUTE
+TEN_SECONDS = 10 * SECOND
+
+# --- cluster parameters from Section 2 ------------------------------------
+
+#: ~40 diskless client workstations.
+DEFAULT_CLIENT_COUNT = 40
+
+#: Four file servers; most traffic handled by one Sun 4.
+DEFAULT_SERVER_COUNT = 4
+
+#: Most clients had 24 to 32 Mbytes of memory.
+DEFAULT_CLIENT_MEMORY = 24 * MB
+
+#: The main file server had 128 Mbytes of memory.
+DEFAULT_SERVER_MEMORY = 128 * MB
+
+#: ~30 day-to-day users plus ~40 occasional users.
+DEFAULT_REGULAR_USERS = 30
+DEFAULT_OCCASIONAL_USERS = 40
+
+# --- latency model parameters from Section 5.3 ----------------------------
+
+#: Fetching a 4-Kbyte page from a server's cache over Ethernet: 6-7 ms.
+REMOTE_PAGE_FETCH_SECONDS = 6.5e-3
+
+#: Typical disk access time at the time of the study: 20-30 ms.
+DISK_ACCESS_SECONDS = 25e-3
+
+#: Raw bandwidth of the study's Ethernet (10 Mbit/s) in bytes/second.
+ETHERNET_BANDWIDTH = 10 * 1000 * 1000 / 8
+
+
+def bytes_to_kbytes(n: float) -> float:
+    """Convert a byte count to Kbytes (the unit most tables report)."""
+    return n / KB
+
+
+def bytes_to_mbytes(n: float) -> float:
+    """Convert a byte count to Mbytes (the unit Table 1 reports)."""
+    return n / MB
+
+
+def blocks_for(nbytes: int, block_size: int = BLOCK_SIZE) -> int:
+    """Number of cache blocks needed to hold ``nbytes`` of file data."""
+    if nbytes < 0:
+        raise ValueError(f"negative byte count: {nbytes}")
+    return (nbytes + block_size - 1) // block_size
+
+
+def block_of(offset: int, block_size: int = BLOCK_SIZE) -> int:
+    """Block index containing byte ``offset``."""
+    if offset < 0:
+        raise ValueError(f"negative offset: {offset}")
+    return offset // block_size
+
+
+def block_range(offset: int, length: int, block_size: int = BLOCK_SIZE) -> range:
+    """Blocks touched by a transfer of ``length`` bytes at ``offset``.
+
+    A zero-length transfer touches no blocks.
+    """
+    if length < 0:
+        raise ValueError(f"negative length: {length}")
+    if length == 0:
+        return range(0)
+    first = block_of(offset, block_size)
+    last = block_of(offset + length - 1, block_size)
+    return range(first, last + 1)

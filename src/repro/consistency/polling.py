@@ -1,0 +1,158 @@
+"""Table 11: stale-data errors under NFS-style polling consistency.
+
+The simulated mechanism (Section 5.5): a client considers its cached
+data valid for a fixed interval; on the first access after the interval
+expires it re-checks with the server.  New data is written through
+almost immediately.  If another client modified the file after this
+client last validated, and the validity interval has not expired, the
+client reads stale data -- a potential error.
+
+The simulation replays every read/write in the trace (runs and shared
+requests alike) in time order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.common.render import format_with_range, render_table
+from repro.common.stats import MinMax
+from repro.common.units import HOUR
+from repro.trace.records import (
+    OpenRecord,
+    ReadRunRecord,
+    SharedReadRecord,
+    SharedWriteRecord,
+    TraceRecord,
+    WriteRunRecord,
+)
+
+
+@dataclass
+class PollingResult:
+    """Stale-data simulation result for one trace."""
+
+    refresh_interval: float
+    duration: float = 0.0
+    errors: int = 0
+    migrated_errors: int = 0
+    reads: int = 0
+    opens: int = 0
+    migrated_opens: int = 0
+    users_seen: set[int] = field(default_factory=set)
+    users_affected: set[int] = field(default_factory=set)
+
+    @property
+    def errors_per_hour(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.errors / (self.duration / HOUR)
+
+    @property
+    def fraction_users_affected(self) -> float:
+        if not self.users_seen:
+            return 0.0
+        return len(self.users_affected) / len(self.users_seen)
+
+    @property
+    def error_fraction_of_opens(self) -> float:
+        return self.errors / self.opens if self.opens else 0.0
+
+    @property
+    def migrated_error_fraction(self) -> float:
+        if not self.migrated_opens:
+            return 0.0
+        return self.migrated_errors / self.migrated_opens
+
+
+def simulate_polling(
+    records: Iterable[TraceRecord],
+    refresh_interval: float,
+    duration: float,
+) -> PollingResult:
+    """Replay one trace under the polling scheme."""
+    result = PollingResult(refresh_interval=refresh_interval, duration=duration)
+    #: (file, client) -> time the client last validated with the server.
+    validated: dict[tuple[int, int], float] = {}
+    #: file -> (time of last write, writing client).
+    last_write: dict[int, tuple[float, int]] = {}
+
+    for record in records:
+        user = getattr(record, "user_id", None)
+        if user is not None and user >= 0:
+            result.users_seen.add(user)
+        if isinstance(record, OpenRecord):
+            result.opens += 1
+            if record.migrated:
+                result.migrated_opens += 1
+        elif isinstance(record, (WriteRunRecord, SharedWriteRecord)):
+            # Written through (almost) immediately; the writer's own
+            # cache is current as of now.
+            last_write[record.file_id] = (record.time, record.client_id)
+            validated[(record.file_id, record.client_id)] = record.time
+        elif isinstance(record, (ReadRunRecord, SharedReadRecord)):
+            result.reads += 1
+            key = (record.file_id, record.client_id)
+            check_time = validated.get(key)
+            written = last_write.get(record.file_id)
+            if check_time is None or record.time >= check_time + refresh_interval:
+                # Cache expired (or cold): the client re-checks with the
+                # server and sees current data.
+                validated[key] = record.time
+                continue
+            if (
+                written is not None
+                and written[1] != record.client_id
+                and written[0] > check_time
+            ):
+                # Another client wrote since we validated, and our cache
+                # has not expired: stale data.
+                result.errors += 1
+                if record.migrated:
+                    result.migrated_errors += 1
+                if record.user_id >= 0:
+                    result.users_affected.add(record.user_id)
+    return result
+
+
+def render_table11(
+    results_60s: list[PollingResult], results_3s: list[PollingResult]
+) -> str:
+    """Render Table 11: pooled values plus per-trace min-max bands."""
+
+    def row(
+        label: str, getter, results_a: list[PollingResult],
+        results_b: list[PollingResult], precision: int = 2,
+    ) -> list[str]:
+        cells = [label]
+        for results in (results_a, results_b):
+            band = MinMax()
+            for result in results:
+                band.add(getter(result))
+            pooled = (
+                sum(getter(r) for r in results) / len(results) if results else 0.0
+            )
+            cells.append(format_with_range(pooled, *band.as_tuple(), precision))
+        return cells
+
+    rows = [
+        row("Average errors per hour", lambda r: r.errors_per_hour,
+            results_60s, results_3s, 1),
+        row("Users affected per 24 hours (%)",
+            lambda r: 100 * r.fraction_users_affected, results_60s, results_3s, 1),
+        row("File opens with error (%)",
+            lambda r: 100 * r.error_fraction_of_opens, results_60s, results_3s, 3),
+        row("Migrated file opens with error (%)",
+            lambda r: 100 * r.migrated_error_fraction, results_60s, results_3s, 3),
+    ]
+    return render_table(
+        "Table 11. Stale data errors under polling consistency",
+        ["Measurement", "60-second interval", "3-second interval"],
+        rows,
+        note=(
+            "Paper: 60-s interval -> 18 errors/hour (8-53), ~48% of users "
+            "affected per day, 0.34% of opens; 3-s interval -> 0.59 "
+            "errors/hour, ~7% of users, 0.011% of opens."
+        ),
+    )

@@ -1,0 +1,294 @@
+"""Table 12: the overhead of three cache-consistency schemes.
+
+The simulators replay, per write-shared file, the request stream of
+:mod:`repro.consistency.events` and account every byte and RPC the
+consistency algorithm would move.  Following the paper's simulator:
+client caches are infinitely large, blocks leave caches only for
+consistency reasons, the 30-second delayed-write policy is modelled,
+and RPCs are piggybacked (a token recall and its dirty-data flush
+count once).
+
+Schemes:
+
+* **Sprite** -- the file is uncacheable from the onset of concurrent
+  write-sharing until every client has closed it; requests in that
+  window pass through byte-for-byte (this is the baseline the ratios
+  are normalized against: the paper's second column is "bytes
+  transferred / bytes requested", and Sprite transfers exactly the
+  requested bytes while sharing is active).
+* **Modified Sprite** -- identical, except the file becomes cacheable
+  again as soon as the concurrent write-sharing ends; small requests
+  after that point miss and pull whole 4-Kbyte blocks.
+* **Token** -- Locus/Echo/DEcorum style: a single write token or any
+  number of read tokens per file; conflicting requests recall tokens
+  (flushing dirty data with a recalled write token, invalidating
+  caches when a write token is granted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.common.render import format_with_range, render_table
+from repro.common.stats import MinMax
+from repro.common.units import BLOCK_SIZE, DELAYED_WRITE_SECONDS
+from repro.consistency.events import SharedFileActivity
+
+
+@dataclass
+class SchemeOverhead:
+    """Accumulated cost of one scheme over one trace."""
+
+    name: str
+    bytes_transferred: int = 0
+    rpcs: int = 0
+    bytes_requested: int = 0
+    requests: int = 0
+
+    @property
+    def byte_ratio(self) -> float:
+        if self.bytes_requested == 0:
+            return 0.0
+        return self.bytes_transferred / self.bytes_requested
+
+    @property
+    def rpc_ratio(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.rpcs / self.requests
+
+
+def _blocks_in(offset: int, length: int) -> range:
+    if length <= 0:
+        return range(0)
+    return range(offset // BLOCK_SIZE, (offset + length - 1) // BLOCK_SIZE + 1)
+
+
+class _WindowedScheme:
+    """Sprite and modified Sprite: uncacheable windows + normal caching
+    outside the windows."""
+
+    def __init__(self, name: str, until_all_close: bool) -> None:
+        self.name = name
+        self.until_all_close = until_all_close
+
+    def run(self, activity: SharedFileActivity) -> SchemeOverhead:
+        overhead = SchemeOverhead(name=self.name)
+        windows = activity.sharing_windows(self.until_all_close)
+
+        def uncacheable(time: float) -> bool:
+            return any(start <= time <= end for start, end in windows)
+
+        #: (client, block) -> resident?
+        cached: set[tuple[int, int]] = set()
+        #: (client, block) -> time the block became dirty (for the
+        #: delayed-write model: it is flushed 30 s later).
+        dirty: dict[tuple[int, int], float] = {}
+
+        def flush_due(now: float) -> None:
+            # The daemon writes all of a client's 30-second-old blocks
+            # in one bulk RPC per client (the paper's piggybacking).
+            due_clients: set[int] = set()
+            for key, since in list(dirty.items()):
+                if now - since >= DELAYED_WRITE_SECONDS:
+                    overhead.bytes_transferred += BLOCK_SIZE
+                    due_clients.add(key[0])
+                    del dirty[key]
+            overhead.rpcs += len(due_clients)
+
+        for request in activity.requests:
+            flush_due(request.time)
+            overhead.requests += 1
+            overhead.bytes_requested += request.length
+            if uncacheable(request.time):
+                # Pass through: exactly the requested bytes, one RPC.
+                overhead.bytes_transferred += request.length
+                overhead.rpcs += 1
+                continue
+            # Cacheable: block-grain caching with delayed writes.
+            fetched = False
+            for block in _blocks_in(request.offset, request.length):
+                key = (request.client_id, block)
+                if request.is_write:
+                    if key not in cached:
+                        cached.add(key)
+                    if key not in dirty:
+                        dirty[key] = request.time
+                    # Other clients' copies become stale; Sprite-style
+                    # version checks would flush them at next open --
+                    # model by dropping them.
+                    for other in [k for k in cached if k[1] == block and k[0] != request.client_id]:
+                        cached.discard(other)
+                else:
+                    if key not in cached:
+                        overhead.bytes_transferred += BLOCK_SIZE
+                        fetched = True
+                        cached.add(key)
+            if fetched:
+                overhead.rpcs += 1  # one bulk fetch per request
+        # Residual dirty blocks eventually flush (bulk, per client).
+        overhead.bytes_transferred += BLOCK_SIZE * len(dirty)
+        overhead.rpcs += len({key[0] for key in dirty})
+        return overhead
+
+
+class _TokenScheme:
+    """The token-based scheme."""
+
+    def run(self, activity: SharedFileActivity) -> SchemeOverhead:
+        overhead = SchemeOverhead(name="Token")
+        write_holder: int | None = None
+        read_holders: set[int] = set()
+        cached: set[tuple[int, int]] = set()
+        dirty: dict[tuple[int, int], float] = {}
+
+        def flush_client(client: int) -> None:
+            """Recalled write token: flush the client's dirty blocks.
+            Piggybacked: one RPC for the recall+flush."""
+            client_dirty = [k for k in dirty if k[0] == client]
+            if client_dirty:
+                overhead.bytes_transferred += BLOCK_SIZE * len(client_dirty)
+            for key in client_dirty:
+                del dirty[key]
+            overhead.rpcs += 1  # the recall (flush piggybacked)
+
+        def flush_due(now: float) -> None:
+            due_clients: set[int] = set()
+            for key, since in list(dirty.items()):
+                if now - since >= DELAYED_WRITE_SECONDS:
+                    overhead.bytes_transferred += BLOCK_SIZE
+                    due_clients.add(key[0])
+                    del dirty[key]
+            overhead.rpcs += len(due_clients)
+
+        for request in activity.requests:
+            flush_due(request.time)
+            overhead.requests += 1
+            overhead.bytes_requested += request.length
+            client = request.client_id
+
+            if request.is_write:
+                if write_holder != client:
+                    # Acquire the write token: recall everything else.
+                    if write_holder is not None:
+                        flush_client(write_holder)
+                    for reader in read_holders:
+                        if reader != client:
+                            overhead.rpcs += 1  # token recall
+                    # A write-token grant invalidates other caches.
+                    stale = [k for k in cached if k[0] != client]
+                    for key in stale:
+                        cached.discard(key)
+                    read_holders.clear()
+                    write_holder = client
+                    overhead.rpcs += 1  # the token request itself
+                for block in _blocks_in(request.offset, request.length):
+                    key = (client, block)
+                    cached.add(key)
+                    dirty.setdefault(key, request.time)
+            else:
+                holds_token = client == write_holder or client in read_holders
+                if not holds_token:
+                    if write_holder is not None and write_holder != client:
+                        # Downgrade: recall the write token (flush).
+                        flush_client(write_holder)
+                        read_holders.add(write_holder)
+                        write_holder = None
+                    read_holders.add(client)
+                    overhead.rpcs += 1  # the token request
+                fetched = False
+                for block in _blocks_in(request.offset, request.length):
+                    key = (client, block)
+                    if key not in cached:
+                        overhead.bytes_transferred += BLOCK_SIZE
+                        fetched = True
+                        cached.add(key)
+                if fetched:
+                    overhead.rpcs += 1  # one bulk fetch per request
+        overhead.bytes_transferred += BLOCK_SIZE * len(dirty)
+        overhead.rpcs += len({key[0] for key in dirty})
+        return overhead
+
+
+@dataclass
+class SchemeComparison:
+    """Table 12 for one trace (or pooled)."""
+
+    sprite: SchemeOverhead
+    modified: SchemeOverhead
+    token: SchemeOverhead
+
+    def as_dict(self) -> dict[str, SchemeOverhead]:
+        return {"Sprite": self.sprite, "Modified Sprite": self.modified,
+                "Token": self.token}
+
+
+def simulate_schemes(
+    activities: Sequence[SharedFileActivity],
+) -> SchemeComparison:
+    """Run all three schemes over the shared-file activity of a trace."""
+    totals = {
+        "sprite": SchemeOverhead(name="Sprite"),
+        "modified": SchemeOverhead(name="Modified Sprite"),
+        "token": SchemeOverhead(name="Token"),
+    }
+    runners = {
+        "sprite": _WindowedScheme("Sprite", until_all_close=True),
+        "modified": _WindowedScheme("Modified Sprite", until_all_close=False),
+        "token": _TokenScheme(),
+    }
+    for activity in activities:
+        if not activity.requests:
+            continue
+        for key, runner in runners.items():
+            result = runner.run(activity)
+            total = totals[key]
+            total.bytes_transferred += result.bytes_transferred
+            total.rpcs += result.rpcs
+            total.bytes_requested += result.bytes_requested
+            total.requests += result.requests
+    return SchemeComparison(
+        sprite=totals["sprite"],
+        modified=totals["modified"],
+        token=totals["token"],
+    )
+
+
+def render_table12(per_trace: list[SchemeComparison]) -> str:
+    """Render Table 12 with per-trace min-max bands."""
+    rows = []
+    for key, label in (
+        ("sprite", "Sprite (cache disable)"),
+        ("modified", "Modified Sprite (re-enable)"),
+        ("token", "Token-based"),
+    ):
+        byte_band, rpc_band = MinMax(), MinMax()
+        total_bytes = total_requested = total_rpcs = total_requests = 0
+        for comparison in per_trace:
+            overhead: SchemeOverhead = getattr(comparison, key)
+            byte_band.add(overhead.byte_ratio)
+            rpc_band.add(overhead.rpc_ratio)
+            total_bytes += overhead.bytes_transferred
+            total_requested += overhead.bytes_requested
+            total_rpcs += overhead.rpcs
+            total_requests += overhead.requests
+        byte_ratio = total_bytes / total_requested if total_requested else 0.0
+        rpc_ratio = total_rpcs / total_requests if total_requests else 0.0
+        rows.append(
+            [
+                label,
+                format_with_range(byte_ratio, *byte_band.as_tuple(), 2),
+                format_with_range(rpc_ratio, *rpc_band.as_tuple(), 2),
+            ]
+        )
+    return render_table(
+        "Table 12. Cache consistency overhead",
+        ["Scheme", "Bytes transferred / requested", "RPCs / request"],
+        rows,
+        note=(
+            "Paper: the three schemes differ little; only the token "
+            "approach improves on Sprite, by ~2% in bytes and ~20% in "
+            "RPCs, with high variance under fine-grained sharing."
+        ),
+    )

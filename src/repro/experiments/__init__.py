@@ -1,0 +1,24 @@
+"""One runnable reproduction per table and figure.
+
+The registry maps experiment ids (``table1`` ... ``table12``,
+``figure1`` ... ``figure4``) to functions that generate (or accept)
+synthetic traces, run the relevant analyses or simulations, and return
+an :class:`ExperimentResult` carrying rendered text, a metrics dict,
+and the paper's expected values for side-by-side comparison.
+"""
+
+from repro.experiments.registry import (
+    EXPERIMENT_IDS,
+    ExperimentContext,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.experiments.expectations import PAPER_EXPECTATIONS
+
+__all__ = [
+    "EXPERIMENT_IDS",
+    "ExperimentContext",
+    "ExperimentResult",
+    "run_experiment",
+    "PAPER_EXPECTATIONS",
+]

@@ -1,0 +1,81 @@
+"""Command-line entry point: ``repro-experiment <id> [--scale S]``.
+
+Runs one experiment (or ``all``) and prints the rendered table or
+figure next to the paper's expectation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import (
+    EXPERIMENT_IDS,
+    ExperimentContext,
+    run_experiment,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description=(
+            "Reproduce a table or figure from Baker et al., "
+            "'Measurements of a Distributed File System' (SOSP 1991)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=list(EXPERIMENT_IDS) + ["all"],
+        help="which table/figure to reproduce (or 'all')",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="population scale factor (1.0 = the paper's cluster; "
+        "default 0.1 for quick runs)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1991, help="random seed (default 1991)"
+    )
+    parser.add_argument(
+        "--report",
+        metavar="FILE",
+        help="write a full reproduction report (all experiments plus the "
+        "then-vs-now and latency analyses) to FILE instead of printing",
+    )
+    parser.add_argument(
+        "--figures-dir",
+        metavar="DIR",
+        help="also export figure1..figure4 CDF data as CSV into DIR",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    context = ExperimentContext(scale=args.scale, seed=args.seed)
+    if args.figures_dir:
+        from repro.experiments.report import export_figure_data
+
+        for path in export_figure_data(args.figures_dir, context):
+            print(f"wrote {path}")
+    if args.report:
+        from repro.experiments.report import write_report
+
+        write_report(args.report, context)
+        print(f"wrote report to {args.report}")
+        return 0
+    ids = EXPERIMENT_IDS if args.experiment == "all" else (args.experiment,)
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, context)
+        print(result.rendered)
+        print()
+        print(f"Paper expectation: {result.paper_expectation}")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

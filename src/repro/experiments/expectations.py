@@ -1,0 +1,87 @@
+"""The paper's reported values, one summary per experiment.
+
+These are the comparison targets recorded in EXPERIMENTS.md; the tests
+assert the *shape* claims (who wins, rough factors, crossover bands),
+not exact equality -- our substrate is a simulator, not the 1991
+Berkeley cluster.
+"""
+
+PAPER_EXPECTATIONS: dict[str, str] = {
+    "table1": (
+        "Eight 24-hour traces; 33-50 users each, 6-15 using migration; "
+        "0.8-17.8 Gbytes read and 0.5-5.5 Gbytes written per trace; "
+        "traces 3-4 dominated by two users' 20-Mbyte simulation inputs."
+    ),
+    "table2": (
+        "8.0 KB/s per active user over 10-minute intervals (20x the BSD "
+        "study's 0.4), 47 KB/s over 10-second intervals; users with "
+        "migrated processes ~6-7x higher (50.7 / 316 KB/s); peak user "
+        "burst 9.87 MB/s."
+    ),
+    "table3": (
+        "88% of accesses read-only, 11% write-only, ~1% read/write. "
+        "78% of read-only accesses are whole-file sequential (89% of "
+        "their bytes); >90% of all bytes move sequentially."
+    ),
+    "figure1": (
+        "~80% of sequential runs under 10 KB, yet >=10% of all bytes "
+        "move in runs longer than 1 MB (runs up to tens of MB in the "
+        "simulation traces)."
+    ),
+    "figure2": (
+        "Most accesses are to small files (~80% under 10 KB) but most "
+        "bytes come from big ones (~40%+ of bytes from files >= 1 MB); "
+        "large files are 10x larger than in 1985."
+    ),
+    "figure3": (
+        "~75% of opens last under 0.25 s (BSD study: under 0.5 s); "
+        "machines are 10x faster but network opens cost 4-5x local."
+    ),
+    "figure4": (
+        "65-80% of deleted files live under 30 s, but those files are "
+        "small: only 4-27% of deleted bytes die within 30 s."
+    ),
+    "table4": (
+        "Client caches average ~7 MB of 24 MB (vs the 10% of RAM in "
+        "contemporary UNIX); sizes change by hundreds of KB over "
+        "minutes (15-min change avg 493 KB, max ~22 MB)."
+    ),
+    "table5": (
+        "~20% of raw traffic is uncacheable, mostly paging; paging is "
+        "~35% of all bytes; write-shared traffic under 1%."
+    ),
+    "table6": (
+        "Read miss ratio 41.4% (paper predicted 10% in 1985 -- large "
+        "files hurt); migrated processes do *better* (22.2%); writeback "
+        "traffic 88.4% (only ~10% of new bytes absorbed); write fetches "
+        "rare (1.2%); paging read misses 28.7%."
+    ),
+    "table7": (
+        "Client caches filter ~50% of raw traffic; paging is ~35% of "
+        "server bytes; non-paging reads:writes ~2:1; write-shared ~1%."
+    ),
+    "table8": (
+        "~79% of replacements make room for another file block, ~21% "
+        "hand the page to virtual memory; replaced blocks sat "
+        "unreferenced for the better part of an hour."
+    ),
+    "table9": (
+        "~3/4 of dirty-block cleanings from the 30-second delay; of the "
+        "rest, about half fsync and half server recalls; blocks given "
+        "to VM almost never dirty."
+    ),
+    "table10": (
+        "Concurrent write-sharing on 0.34% of opens (0.18-0.56); server "
+        "recalls on at most 1.7% (0.79-3.35)."
+    ),
+    "table11": (
+        "60-s polling: 18 stale-data errors/hour, ~half the users hit "
+        "per day; 3-s polling: 0.59 errors/hour, ~7% of users -- still "
+        "large next to undetected network/disk error rates."
+    ),
+    "table12": (
+        "All three schemes have comparable overhead; only the token "
+        "scheme improves on Sprite, by ~2% of bytes and ~20% of RPCs, "
+        "and it is the most sensitive to the application mix."
+    ),
+}

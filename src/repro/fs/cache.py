@@ -1,0 +1,201 @@
+"""The client block cache.
+
+File data is cached in 4-Kbyte blocks chosen for replacement by least
+recent use (Section 5.4).  A block is identified by (file id, block
+index).  Dirty blocks remember when they first became dirty so the
+writeback daemon can find 30-second-old data, and every block remembers
+its last reference so replacement ages can be measured (Table 8).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.common.errors import CacheError
+
+BlockKey = tuple[int, int]  # (file_id, block_index)
+
+
+class EvictionReason(enum.Enum):
+    """Why a block left the cache (Table 8)."""
+
+    FOR_FILE_BLOCK = "another_file_block"
+    FOR_VM = "virtual_memory"
+    INVALIDATED = "invalidated"  # delete/truncate/consistency flush
+
+
+class CleanReason(enum.Enum):
+    """Why a dirty block was written to the server (Table 9)."""
+
+    DELAY = "30_second_delay"
+    FSYNC = "application_fsync"
+    RECALL = "server_recall"
+    VM = "given_to_vm"
+
+
+@dataclass
+class CacheBlock:
+    """One resident 4-Kbyte block."""
+
+    file_id: int
+    index: int
+    dirty: bool = False
+    dirty_since: float = -1.0
+    last_referenced: float = 0.0
+    #: Set while the owning file is being written by a migrated process
+    #: (used only for per-class accounting).
+    migrated: bool = False
+    #: Highest byte offset written within the block.  A writeback sends
+    #: "the portion from the beginning of the cache block to the end of
+    #: the appended data" (Section 5.2), i.e. this many bytes.  Blocks
+    #: fetched from the server are fully valid (= block size).
+    written_end: int = 0
+
+    @property
+    def key(self) -> BlockKey:
+        return (self.file_id, self.index)
+
+
+class BlockCache:
+    """An LRU block cache with explicit dirty-block bookkeeping.
+
+    The cache does not decide its own capacity: the client kernel asks
+    the VM negotiation layer how many blocks it may hold and calls
+    :meth:`shrink_to`.  That keeps the 20-minute trading policy in one
+    place (:mod:`repro.fs.vm`).
+    """
+
+    def __init__(self, block_size: int) -> None:
+        if block_size <= 0:
+            raise CacheError(f"bad block size {block_size}")
+        self.block_size = block_size
+        #: LRU order: oldest first.
+        self._blocks: OrderedDict[BlockKey, CacheBlock] = OrderedDict()
+        self._dirty: dict[BlockKey, CacheBlock] = {}
+        #: Per-file index so deletes/recalls don't scan the whole cache.
+        self._by_file: dict[int, set[BlockKey]] = {}
+
+    # --- inspection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, key: BlockKey) -> bool:
+        return key in self._blocks
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._blocks) * self.block_size
+
+    @property
+    def dirty_count(self) -> int:
+        return len(self._dirty)
+
+    def get(self, key: BlockKey) -> CacheBlock | None:
+        return self._blocks.get(key)
+
+    def blocks_of_file(self, file_id: int) -> list[CacheBlock]:
+        """All resident blocks of one file (any order)."""
+        keys = self._by_file.get(file_id)
+        if not keys:
+            return []
+        return [self._blocks[key] for key in keys]
+
+    def dirty_blocks_of_file(self, file_id: int) -> list[CacheBlock]:
+        """The dirty subset of one file's resident blocks."""
+        keys = self._by_file.get(file_id)
+        if not keys:
+            return []
+        return [self._blocks[key] for key in keys if key in self._dirty]
+
+    def dirty_blocks(self) -> list[CacheBlock]:
+        """All dirty blocks (unspecified order)."""
+        return list(self._dirty.values())
+
+    def dirty_blocks_older_than(self, cutoff: float) -> list[CacheBlock]:
+        """Dirty blocks whose data became dirty at or before ``cutoff``."""
+        return [b for b in self._dirty.values() if b.dirty_since <= cutoff]
+
+    def lru_block(self) -> CacheBlock | None:
+        """The least recently used block, or None if empty."""
+        if not self._blocks:
+            return None
+        return next(iter(self._blocks.values()))
+
+    # --- mutation ------------------------------------------------------------
+
+    def touch(self, key: BlockKey, now: float) -> CacheBlock:
+        """Mark a resident block most recently used."""
+        block = self._blocks.get(key)
+        if block is None:
+            raise CacheError(f"touch of non-resident block {key}")
+        block.last_referenced = now
+        self._blocks.move_to_end(key)
+        return block
+
+    def insert(self, key: BlockKey, now: float, migrated: bool = False) -> CacheBlock:
+        """Insert a clean block (fetched or about to be overwritten)."""
+        if key in self._blocks:
+            raise CacheError(f"double insert of block {key}")
+        block = CacheBlock(
+            file_id=key[0], index=key[1], last_referenced=now, migrated=migrated
+        )
+        self._blocks[key] = block
+        self._by_file.setdefault(key[0], set()).add(key)
+        return block
+
+    def mark_dirty(self, key: BlockKey, now: float, migrated: bool = False) -> None:
+        """Mark a resident block dirty (first write stamps dirty_since)."""
+        block = self._blocks.get(key)
+        if block is None:
+            raise CacheError(f"write to non-resident block {key}")
+        if not block.dirty:
+            block.dirty = True
+            block.dirty_since = now
+            self._dirty[key] = block
+        block.last_referenced = now
+        block.migrated = block.migrated or migrated
+        self._blocks.move_to_end(key)
+
+    def mark_clean(self, key: BlockKey) -> None:
+        """Mark a dirty block clean (after writeback)."""
+        block = self._dirty.pop(key, None)
+        if block is None:
+            raise CacheError(f"clean of non-dirty block {key}")
+        block.dirty = False
+        block.dirty_since = -1.0
+
+    def remove(self, key: BlockKey) -> CacheBlock:
+        """Remove a block outright (eviction or invalidation)."""
+        block = self._blocks.pop(key, None)
+        if block is None:
+            raise CacheError(f"remove of non-resident block {key}")
+        self._dirty.pop(key, None)
+        keys = self._by_file.get(key[0])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_file[key[0]]
+        return block
+
+    def evict_lru(self) -> CacheBlock:
+        """Evict the least recently used block.
+
+        With such long cache lifetimes dirty blocks have almost always
+        been written back before they reach the LRU end; if the LRU
+        block *is* dirty, the caller is responsible for writing it back
+        first (the paper notes this is rare).
+        """
+        block = self.lru_block()
+        if block is None:
+            raise CacheError("evict from an empty cache")
+        return self.remove(block.key)
+
+    def invalidate_file(self, file_id: int) -> list[CacheBlock]:
+        """Drop every block of a file (delete, truncate, stale data)."""
+        victims = self.blocks_of_file(file_id)
+        for block in victims:
+            self.remove(block.key)
+        return victims

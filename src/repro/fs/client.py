@@ -1,0 +1,349 @@
+"""The client kernel: cache management, delayed writes, consistency.
+
+Implements the client half of Sprite's caching mechanism:
+
+* 4-Kbyte blocks cached on read and write, LRU replacement;
+* cache size negotiated with the VM model (grow by claiming free or
+  20-minute-aged pages, shrink when VM demand spikes);
+* 30-second delayed writes, scanned every 5 seconds by a daemon; when
+  any block of a file is 30 seconds dirty, *all* the file's dirty
+  blocks are written (Section 5.4);
+* fsync write-through on application request;
+* consistency actions: flush stale blocks on version mismatch at open,
+  honour server recalls, bypass the cache entirely for files under
+  concurrent write-sharing.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SimulationError
+from repro.fs.cache import BlockCache, CacheBlock, CleanReason
+from repro.fs.config import ClusterConfig
+from repro.fs.counters import ClientCounters
+from repro.fs.server import Server
+from repro.sim.engine import Engine
+from repro.sim.timers import RecurringTimer
+
+
+class ClientKernel:
+    """One diskless Sprite client."""
+
+    def __init__(
+        self,
+        client_id: int,
+        config: ClusterConfig,
+        engine: Engine,
+        server: Server,
+        vm,
+    ) -> None:
+        self.client_id = client_id
+        self.config = config
+        self.engine = engine
+        self.server = server
+        self.vm = vm
+        self.counters = ClientCounters()
+        self.cache = BlockCache(config.block_size)
+        self._known_version: dict[int, int] = {}
+        self._uncacheable: set[int] = set()
+        self._daemon = RecurringTimer(
+            engine, config.writeback_scan_interval, self._writeback_scan
+        )
+        self._daemon.start()
+        self._max_cache_blocks = max(
+            1, int(config.client_page_count * config.max_cache_fraction)
+        )
+        #: Pages granted by VM but not currently holding a block
+        #: (freed by invalidations; the cache keeps them greedily).
+        self._spare_pages = 0
+
+    # --- consistency hooks -------------------------------------------------------
+
+    def set_cacheability(self, file_id: int, cacheable: bool) -> None:
+        """Server-driven: disable or re-enable caching for a file."""
+        if cacheable:
+            self._uncacheable.discard(file_id)
+            return
+        self._uncacheable.add(file_id)
+        # Flush what we hold: dirty data goes back, everything drops.
+        if self.has_dirty_data(file_id):
+            self._clean_file(self.engine.now, file_id, CleanReason.RECALL)
+        self._spare_pages += len(self.cache.invalidate_file(file_id))
+
+    def has_dirty_data(self, file_id: int) -> bool:
+        return bool(self.cache.dirty_blocks_of_file(file_id))
+
+    def recall_dirty_data(self, now: float, file_id: int) -> None:
+        """The server recalls this client's dirty data for a file."""
+        self._clean_file(now, file_id, CleanReason.RECALL)
+
+    # --- opens and closes ---------------------------------------------------------
+
+    def open_file(self, now: float, file_id: int, will_write: bool) -> bool:
+        """Open a file; returns True if it is cacheable here.
+
+        Flushes stale cached data when the server's version is newer
+        than the version this cache was loaded from (the timestamp
+        mechanism).
+        """
+        self.counters.file_open_ops += 1
+        reply = self.server.open_file(now, file_id, self.client_id, will_write)
+        known = self._known_version.get(file_id)
+        expected = reply.version - 1 if will_write else reply.version
+        if known is not None and known != expected and known != reply.version:
+            # Our cached copy predates the current version: flush it.
+            self._spare_pages += len(self.cache.invalidate_file(file_id))
+        self._known_version[file_id] = reply.version
+        if not reply.cacheable:
+            self._uncacheable.add(file_id)
+        return reply.cacheable
+
+    def close_file(
+        self, now: float, file_id: int, wrote: bool, fsync: bool = False
+    ) -> None:
+        """Close a file, optionally forcing its dirty data through."""
+        if fsync and wrote:
+            self._clean_file(now, file_id, CleanReason.FSYNC)
+            self.server.note_written_back(file_id, self.client_id)
+        self.server.close_file(now, file_id, self.client_id, wrote)
+
+    # --- reads and writes -----------------------------------------------------------
+
+    def read(
+        self,
+        now: float,
+        file_id: int,
+        offset: int,
+        length: int,
+        migrated: bool = False,
+        paging_kind: str | None = None,
+    ) -> None:
+        """Application (or pager) read of a byte range.
+
+        ``paging_kind`` is ``"code"`` or ``"data"`` for cacheable page
+        faults; ``None`` for ordinary file reads.
+        """
+        if length <= 0:
+            return
+        paging = paging_kind is not None
+        if file_id in self._uncacheable:
+            self.counters.shared_bytes_read += length
+            self.server.passthrough_read(now, file_id, length)
+            return
+        if paging_kind == "code":
+            self.counters.paging_code_bytes += length
+        elif paging_kind == "data":
+            self.counters.paging_data_bytes += length
+        else:
+            self.counters.file_bytes_read += length
+            if migrated:
+                self.counters.migrated_read_bytes += length
+
+        block_size = self.config.block_size
+        first = offset // block_size
+        last = (offset + length - 1) // block_size
+        for index in range(first, last + 1):
+            block_start = index * block_size
+            overlap = min(offset + length, block_start + block_size) - max(
+                offset, block_start
+            )
+            self.counters.cache_read_ops += 1
+            if paging:
+                self.counters.paging_read_ops += 1
+            if migrated:
+                self.counters.migrated_read_ops += 1
+            key = (file_id, index)
+            if key in self.cache:
+                self.cache.touch(key, now)
+                continue
+            # Miss: fetch from the server and install.
+            self.counters.cache_read_misses += 1
+            self.counters.cache_read_miss_bytes += overlap
+            if paging:
+                self.counters.paging_read_misses += 1
+                self.counters.paging_read_miss_bytes += overlap
+            if migrated:
+                self.counters.migrated_read_misses += 1
+                self.counters.migrated_read_miss_bytes += overlap
+            self.server.fetch_block(now, file_id, index, overlap)
+            self._make_room(now)
+            block = self.cache.insert(key, now, migrated=migrated)
+            block.written_end = block_size  # a fetched block is full
+
+    def write(
+        self,
+        now: float,
+        file_id: int,
+        offset: int,
+        length: int,
+        migrated: bool = False,
+    ) -> None:
+        """Application write of a byte range."""
+        if length <= 0:
+            return
+        if file_id in self._uncacheable:
+            self.counters.shared_bytes_written += length
+            self.server.passthrough_write(now, file_id, length)
+            return
+        self.counters.file_bytes_written += length
+        self.counters.cache_write_bytes += length
+        if migrated:
+            self.counters.migrated_write_bytes += length
+
+        block_size = self.config.block_size
+        first = offset // block_size
+        last = (offset + length - 1) // block_size
+        for index in range(first, last + 1):
+            block_start = index * block_size
+            begin = max(offset, block_start)
+            end = min(offset + length, block_start + block_size)
+            self.counters.cache_write_ops += 1
+            if migrated:
+                self.counters.migrated_write_ops += 1
+            key = (file_id, index)
+            block = self.cache.get(key)
+            if block is None:
+                partial = begin > block_start or end < block_start + block_size
+                overwrites_existing = begin > block_start
+                if partial and overwrites_existing:
+                    # Partial write of a non-resident block: fetch it
+                    # first (Table 6's "write fetch").
+                    self.counters.write_fetch_ops += 1
+                    self.counters.write_fetch_bytes += block_size
+                    if migrated:
+                        self.counters.migrated_write_fetch_ops += 1
+                    self.server.fetch_block(now, file_id, index, block_size)
+                    self._make_room(now)
+                    block = self.cache.insert(key, now, migrated=migrated)
+                    block.written_end = block_size
+                else:
+                    self._make_room(now)
+                    block = self.cache.insert(key, now, migrated=migrated)
+                    block.written_end = 0
+            self.cache.mark_dirty(key, now, migrated=migrated)
+            block.written_end = max(block.written_end, end - block_start)
+            if self.config.write_through:
+                self._clean_block(now, block, CleanReason.FSYNC)
+
+    def fsync_file(self, now: float, file_id: int) -> None:
+        """Application-requested synchronous write-through."""
+        self._clean_file(now, file_id, CleanReason.FSYNC)
+        self.server.note_written_back(file_id, self.client_id)
+
+    def delete_file(self, now: float, file_id: int) -> None:
+        """Handle a delete (or truncate-to-zero) of a file."""
+        for block in self.cache.blocks_of_file(file_id):
+            if block.dirty:
+                # Absorbed by the delayed-write policy: never reaches
+                # the server (the ~10% write savings).
+                self.counters.dirty_bytes_discarded += max(1, block.written_end)
+            self.cache.remove(block.key)
+            self._spare_pages += 1
+        self._known_version.pop(file_id, None)
+
+    def directory_read(self, now: float, length: int) -> None:
+        """Directories are not cached on clients."""
+        self.counters.directory_bytes_read += length
+        self.server.passthrough_read(now, -1, length)
+
+    # --- paging -------------------------------------------------------------------
+
+    def paging_backing(self, now: float, nbytes: int, is_write: bool) -> None:
+        """Backing-file traffic: straight to the server."""
+        if is_write:
+            self.counters.paging_backing_bytes_written += nbytes
+        else:
+            self.counters.paging_backing_bytes_read += nbytes
+        self.server.paging_transfer(now, nbytes)
+
+    # --- internals ------------------------------------------------------------------
+
+    def _make_room(self, now: float) -> None:
+        """Ensure space for one more block: reuse a spare page, grow if
+        VM permits, else evict the LRU block."""
+        if self._spare_pages > 0:
+            self._spare_pages -= 1
+            return
+        if len(self.cache) < self._max_cache_blocks:
+            if self.vm.claim_for_cache(now, 1) == 1:
+                return
+        victim = self.cache.lru_block()
+        if victim is None:
+            # Cache is empty and VM gave nothing: force one page.
+            if self.vm.claim_for_cache(now, 1) != 1:
+                raise SimulationError(
+                    f"client {self.client_id} has no memory for even one block"
+                )
+            return
+        if victim.dirty:
+            # Rare: a dirty block reached the LRU end before the daemon
+            # cleaned it.  Write it back before reuse.
+            self._clean_block(now, victim, CleanReason.VM)
+        age = max(0.0, now - victim.last_referenced)
+        self.counters.blocks_replaced_for_file += 1
+        self.counters.replace_age_sum_file += age
+        self.cache.remove(victim.key)
+
+    def surrender_pages(self, now: float, pages: int) -> int:
+        """VM demand spike: give up to ``pages`` blocks back to the VM
+        system.  Returns how many pages were actually surrendered."""
+        # Spare pages go first -- they hold no data.
+        spare_given = min(self._spare_pages, pages)
+        self._spare_pages -= spare_given
+        if spare_given:
+            self.vm.release_from_cache(spare_given)
+        surrendered = spare_given
+        for _ in range(pages - spare_given):
+            victim = self.cache.lru_block()
+            if victim is None:
+                break
+            if victim.dirty:
+                self._clean_block(now, victim, CleanReason.VM)
+            age = max(0.0, now - victim.last_referenced)
+            self.counters.blocks_replaced_for_vm += 1
+            self.counters.replace_age_sum_vm += age
+            self.cache.remove(victim.key)
+            self.vm.release_from_cache(1)
+            surrendered += 1
+        return surrendered
+
+    def _writeback_scan(self) -> None:
+        """The 5-second daemon: clean files with 30-second-old data."""
+        now = self.engine.now
+        cutoff = now - self.config.writeback_delay
+        old_blocks = self.cache.dirty_blocks_older_than(cutoff)
+        if not old_blocks:
+            return
+        # All dirty blocks of a file go when any block is 30s old.
+        for file_id in sorted({b.file_id for b in old_blocks}):
+            self._clean_file(now, file_id, CleanReason.DELAY)
+            self.server.note_written_back(file_id, self.client_id)
+
+    def _clean_file(self, now: float, file_id: int, reason: CleanReason) -> None:
+        for block in self.cache.dirty_blocks_of_file(file_id):
+            self._clean_block(now, block, reason)
+
+    def _clean_block(self, now: float, block: CacheBlock, reason: CleanReason) -> None:
+        nbytes = max(1, min(block.written_end, self.config.block_size))
+        age = max(0.0, now - block.dirty_since) if block.dirty_since >= 0 else 0.0
+        self.server.write_block(now, block.file_id, block.index, nbytes)
+        self.counters.bytes_written_to_server += nbytes
+        if reason is CleanReason.DELAY:
+            self.counters.blocks_cleaned_delay += 1
+            self.counters.clean_age_sum_delay += age
+        elif reason is CleanReason.FSYNC:
+            self.counters.blocks_cleaned_fsync += 1
+            self.counters.clean_age_sum_fsync += age
+        elif reason is CleanReason.RECALL:
+            self.counters.blocks_cleaned_recall += 1
+            self.counters.clean_age_sum_recall += age
+        else:
+            self.counters.blocks_cleaned_vm += 1
+            self.counters.clean_age_sum_vm += age
+        self.cache.mark_clean(block.key)
+
+    def snapshot_sizes(self) -> None:
+        """Refresh the sampled size counters before a snapshot."""
+        self.counters.cache_size_bytes = self.cache.size_bytes
+        self.counters.vm_resident_bytes = (
+            self.vm.vm_resident_pages * self.config.block_size
+        )

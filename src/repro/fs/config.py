@@ -1,0 +1,83 @@
+"""Cluster simulator configuration.
+
+Every policy constant the paper describes is a field here, so ablations
+(write-through instead of delayed writes, a fixed 10% cache as in
+contemporary UNIX kernels, symmetric VM trading) are configuration
+changes rather than code changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.units import (
+    BLOCK_SIZE,
+    DEFAULT_CLIENT_COUNT,
+    DEFAULT_CLIENT_MEMORY,
+    DEFAULT_SERVER_MEMORY,
+    DELAYED_WRITE_SECONDS,
+    MB,
+    VM_PREFERENCE_SECONDS,
+    WRITEBACK_SCAN_INTERVAL,
+)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Parameters of one simulated Sprite cluster."""
+
+    client_count: int = DEFAULT_CLIENT_COUNT
+    client_memory: int = DEFAULT_CLIENT_MEMORY
+    server_memory: int = DEFAULT_SERVER_MEMORY
+    block_size: int = BLOCK_SIZE
+
+    #: Dirty data is written to the server this long after it was written.
+    writeback_delay: float = DELAYED_WRITE_SECONDS
+    #: The daemon scans for 30-second-old dirty blocks at this period.
+    writeback_scan_interval: float = WRITEBACK_SCAN_INTERVAL
+    #: Write everything through immediately (ablation of the delay).
+    write_through: bool = False
+
+    #: Memory the kernel itself occupies on each client (not tradable).
+    kernel_memory: int = 4 * MB
+    #: Minimum size the file cache may shrink to.
+    min_cache_size: int = 512 * 1024
+    #: VM pages must be unreferenced this long before the file cache may
+    #: claim them (Sprite's 20-minute preference for virtual memory).
+    vm_preference: float = VM_PREFERENCE_SECONDS
+    #: Cap the cache at this fraction of memory; 1.0 = Sprite's dynamic
+    #: behaviour, 0.10 = the fixed allocation of contemporary UNIX.
+    max_cache_fraction: float = 1.0
+
+    #: Probability that an application follows a written file's close
+    #: with an fsync (Table 9's "write-through requested by application").
+    fsync_probability: float = 0.13
+
+    #: Counter snapshots are taken at this period (seconds).
+    snapshot_interval: float = 300.0
+
+    #: Paging model: target paging bytes as a fraction of file bytes
+    #: (the paper measured paging at roughly 35% of all traffic).
+    paging_intensity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.client_count <= 0:
+            raise ConfigError("need at least one client")
+        if self.block_size <= 0 or self.block_size % 512:
+            raise ConfigError(f"implausible block size {self.block_size}")
+        if self.client_memory < self.kernel_memory + self.min_cache_size:
+            raise ConfigError("client memory smaller than kernel + minimum cache")
+        if self.writeback_delay < 0 or self.writeback_scan_interval <= 0:
+            raise ConfigError("bad writeback timing parameters")
+        if not 0.0 <= self.fsync_probability <= 1.0:
+            raise ConfigError(f"bad fsync probability {self.fsync_probability}")
+        if not 0.0 < self.max_cache_fraction <= 1.0:
+            raise ConfigError(f"bad max cache fraction {self.max_cache_fraction}")
+        if self.snapshot_interval <= 0:
+            raise ConfigError("snapshot interval must be positive")
+
+    @property
+    def client_page_count(self) -> int:
+        """Tradable pages per client (total minus kernel)."""
+        return (self.client_memory - self.kernel_memory) // self.block_size

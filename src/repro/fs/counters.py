@@ -1,0 +1,170 @@
+"""The kernel counters.
+
+Section 3: "approximately 50 counters that recorded statistics about
+cache traffic, ages of blocks in the cache, the size of the cache, etc.
+A user-level process read the counters at regular intervals."  The
+simulator keeps the same counters per client and snapshots them on a
+simulated schedule; :mod:`repro.caching` post-processes the snapshots
+into Tables 4-9, just as the authors post-processed their counter
+files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class ClientCounters:
+    """Cumulative counters for one client kernel."""
+
+    # --- raw application traffic (before any cache) -----------------------
+    file_open_ops: int = 0
+    file_bytes_read: int = 0
+    file_bytes_written: int = 0
+    shared_bytes_read: int = 0  # uncacheable: concurrent write-sharing
+    shared_bytes_written: int = 0
+    directory_bytes_read: int = 0  # uncacheable: directories not cached
+    paging_code_bytes: int = 0  # cacheable paging (executable files)
+    paging_data_bytes: int = 0  # cacheable paging (initialized data)
+    paging_backing_bytes_read: int = 0  # uncacheable paging
+    paging_backing_bytes_written: int = 0
+
+    # --- cache operations ---------------------------------------------------
+    cache_read_ops: int = 0
+    cache_read_misses: int = 0
+    cache_read_bytes: int = 0
+    cache_read_miss_bytes: int = 0  # bytes fetched from the server
+    cache_write_ops: int = 0
+    cache_write_bytes: int = 0
+    write_fetch_ops: int = 0  # partial write of a non-resident block
+    write_fetch_bytes: int = 0
+
+    # migrated-process split of the above
+    migrated_read_ops: int = 0
+    migrated_read_misses: int = 0
+    migrated_read_bytes: int = 0
+    migrated_read_miss_bytes: int = 0
+    migrated_write_ops: int = 0
+    migrated_write_bytes: int = 0
+    migrated_write_fetch_ops: int = 0
+
+    # paging cache behaviour
+    paging_read_ops: int = 0
+    paging_read_misses: int = 0
+    paging_read_miss_bytes: int = 0
+
+    # --- writeback ------------------------------------------------------------
+    bytes_written_to_server: int = 0
+    blocks_cleaned_delay: int = 0
+    blocks_cleaned_fsync: int = 0
+    blocks_cleaned_recall: int = 0
+    blocks_cleaned_vm: int = 0
+    clean_age_sum_delay: float = 0.0
+    clean_age_sum_fsync: float = 0.0
+    clean_age_sum_recall: float = 0.0
+    clean_age_sum_vm: float = 0.0
+    dirty_bytes_discarded: int = 0  # deleted/truncated before writeback
+
+    # --- replacement ------------------------------------------------------------
+    blocks_replaced_for_file: int = 0
+    blocks_replaced_for_vm: int = 0
+    replace_age_sum_file: float = 0.0  # seconds since last reference
+    replace_age_sum_vm: float = 0.0
+
+    # --- cache size -----------------------------------------------------------
+    cache_size_bytes: int = 0  # current, sampled at snapshot time
+    vm_resident_bytes: int = 0
+
+    def copy(self) -> "ClientCounters":
+        """A value snapshot of every counter."""
+        clone = ClientCounters()
+        for item in fields(self):
+            setattr(clone, item.name, getattr(self, item.name))
+        return clone
+
+    @property
+    def raw_file_bytes(self) -> int:
+        """All application file bytes, cacheable or not."""
+        return (
+            self.file_bytes_read
+            + self.file_bytes_written
+            + self.shared_bytes_read
+            + self.shared_bytes_written
+            + self.directory_bytes_read
+        )
+
+    @property
+    def raw_paging_bytes(self) -> int:
+        return (
+            self.paging_code_bytes
+            + self.paging_data_bytes
+            + self.paging_backing_bytes_read
+            + self.paging_backing_bytes_written
+        )
+
+    @property
+    def raw_total_bytes(self) -> int:
+        return self.raw_file_bytes + self.raw_paging_bytes
+
+    @property
+    def uncacheable_bytes(self) -> int:
+        return (
+            self.shared_bytes_read
+            + self.shared_bytes_written
+            + self.directory_bytes_read
+            + self.paging_backing_bytes_read
+            + self.paging_backing_bytes_written
+        )
+
+    @property
+    def server_bytes(self) -> int:
+        """Bytes that crossed the network to or from the server.
+
+        ``cache_read_miss_bytes`` already includes the miss bytes of
+        cacheable paging, so paging misses must not be added again.
+        """
+        return (
+            self.cache_read_miss_bytes
+            + self.write_fetch_bytes
+            + self.bytes_written_to_server
+            + self.uncacheable_bytes
+        )
+
+
+@dataclass
+class ServerCounters:
+    """Cumulative counters for the file server."""
+
+    rpc_count: int = 0
+    open_rpcs: int = 0
+    naming_rpcs: int = 0  # closes, deletes, directory ops
+    block_reads: int = 0  # blocks served to client caches
+    block_read_bytes: int = 0
+    block_writes: int = 0  # writebacks received
+    block_write_bytes: int = 0
+    passthrough_read_bytes: int = 0  # uncacheable (shared) reads
+    passthrough_write_bytes: int = 0
+    paging_bytes: int = 0
+    recalls_issued: int = 0
+    cache_disables: int = 0
+    concurrent_write_sharing_opens: int = 0
+    server_cache_hits: int = 0
+    server_cache_misses: int = 0
+    disk_reads: int = 0
+    disk_writes: int = 0
+
+    def copy(self) -> "ServerCounters":
+        clone = ServerCounters()
+        for item in fields(self):
+            setattr(clone, item.name, getattr(self, item.name))
+        return clone
+
+
+@dataclass
+class CounterSnapshot:
+    """One timestamped reading of a client's counters."""
+
+    time: float
+    client_id: int
+    counters: ClientCounters = field(repr=False)

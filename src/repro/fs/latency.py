@@ -1,0 +1,121 @@
+"""Section 5.3's latency and network back-of-envelope analysis.
+
+The paper argues against local disks for paging with three numbers:
+
+* fetching a 4-KB page from the server's cache over Ethernet takes
+  6-7 ms -- already well under a local disk's 20-30 ms;
+* the whole 40-workstation cluster generates only ~42 KB/s of paging,
+  about 4% of an Ethernet;
+* putting backing files on local disks would cut server traffic by
+  only ~20%.
+
+This module reproduces that analysis from a cluster replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.render import render_table
+from repro.common.units import (
+    DISK_ACCESS_SECONDS,
+    ETHERNET_BANDWIDTH,
+    KB,
+    REMOTE_PAGE_FETCH_SECONDS,
+)
+from repro.fs.cluster import ClusterResult
+
+
+@dataclass
+class PagingLatencyAnalysis:
+    """The Section 5.3 numbers derived from one or more replays."""
+
+    paging_bytes_per_second: float
+    ethernet_utilization: float
+    remote_fetch_ms: float
+    local_disk_ms: float
+    #: Fraction of server bytes that would move to a local disk if
+    #: backing files were kept locally.
+    backing_share_of_server_traffic: float
+    client_count: int
+
+    @property
+    def remote_faster_than_disk(self) -> bool:
+        return self.remote_fetch_ms < self.local_disk_ms
+
+    @property
+    def pages_per_client_per_second(self) -> float:
+        page = 4 * KB
+        if self.client_count == 0:
+            return 0.0
+        return self.paging_bytes_per_second / page / self.client_count
+
+    def render(self) -> str:
+        rows = [
+            ["Cluster paging rate (KB/s)",
+             f"{self.paging_bytes_per_second / KB:.1f}",
+             "~42 (paper)"],
+            ["Ethernet utilization from paging",
+             f"{100 * self.ethernet_utilization:.1f}%", "~4% (paper)"],
+            ["Seconds between pages, per client",
+             f"{1 / self.pages_per_client_per_second:.1f}"
+             if self.pages_per_client_per_second else "inf",
+             "3-4 s mid-day (paper)"],
+            ["Remote server-cache page fetch",
+             f"{self.remote_fetch_ms:.1f} ms", "6-7 ms (paper)"],
+            ["Local disk access",
+             f"{self.local_disk_ms:.1f} ms", "20-30 ms (paper)"],
+            ["Server traffic saved by local paging disks",
+             f"{100 * self.backing_share_of_server_traffic:.1f}%",
+             "~20% (paper)"],
+        ]
+        verdict = (
+            "paging over the network beats a local disk"
+            if self.remote_faster_than_disk
+            else "a local disk would beat the network here"
+        )
+        return render_table(
+            "Paging latency and network analysis (Section 5.3)",
+            ["Quantity", "Measured", "Paper"],
+            rows,
+            note=f"Verdict: {verdict}; spend money on memory, not local disks.",
+        )
+
+
+def analyze_paging_latency(
+    results: list[ClusterResult],
+    remote_fetch_seconds: float = REMOTE_PAGE_FETCH_SECONDS,
+    disk_seconds: float = DISK_ACCESS_SECONDS,
+    ethernet_bandwidth: float = ETHERNET_BANDWIDTH,
+) -> PagingLatencyAnalysis:
+    """Derive the Section 5.3 analysis from cluster replays."""
+    total_paging_bytes = 0
+    total_server_bytes = 0
+    total_backing_bytes = 0
+    total_duration = 0.0
+    client_count = 0
+    for result in results:
+        total_duration += result.duration
+        client_count = max(client_count, result.config.client_count)
+        for counters in result.final_counters.values():
+            total_paging_bytes += counters.raw_paging_bytes
+            total_server_bytes += counters.server_bytes
+            total_backing_bytes += (
+                counters.paging_backing_bytes_read
+                + counters.paging_backing_bytes_written
+            )
+    per_second = (
+        total_paging_bytes / total_duration if total_duration else 0.0
+    )
+    return PagingLatencyAnalysis(
+        paging_bytes_per_second=per_second,
+        ethernet_utilization=per_second / ethernet_bandwidth,
+        remote_fetch_ms=remote_fetch_seconds * 1000.0,
+        local_disk_ms=disk_seconds * 1000.0,
+        backing_share_of_server_traffic=(
+            total_backing_bytes / total_server_bytes
+            if total_server_bytes
+            else 0.0
+        ),
+        client_count=client_count,
+    )

@@ -1,0 +1,165 @@
+"""The paging model.
+
+Section 5.3: paging was about 35% of all bytes transferred, split
+roughly 50% backing files, 40% code pages, and 10% unmodified
+initialized-data pages.  Backing files are never cached on clients;
+code and data faults check the file cache (and hit often, because
+Sprite keeps code pages around and re-runs of a program find its pages
+still cached).
+
+The model is event-driven: the cluster pulses it on every open.  A
+pulse usually causes a small amount of paging proportional to activity;
+a pulse after a long idle period is a *process-startup burst* -- a
+spray of code/data faults against the program's executable plus a VM
+working-set demand that may force the file cache to give pages back
+(Table 8's "given to virtual memory" evictions).  Working sets decay
+later, feeding the 20-minute aging pipeline that lets the cache grow
+again (Table 4's size variation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.rng import RngStream
+from repro.common.units import KB, MB
+from repro.fs.client import ClientKernel
+from repro.sim.engine import Engine
+
+
+#: File ids at or above this value are synthetic executables/binaries,
+#: outside the trace generator's id space.
+EXECUTABLE_FILE_ID_BASE = 50_000_000
+
+
+@dataclass(frozen=True)
+class _Binary:
+    file_id: int
+    code_bytes: int
+    data_bytes: int
+
+
+class PagingModel:
+    """Per-client paging driver."""
+
+    #: A client is "cold" after this much inactivity; the next pulse is
+    #: treated as a process-startup burst.
+    IDLE_THRESHOLD = 600.0
+
+    def __init__(
+        self,
+        client: ClientKernel,
+        engine: Engine,
+        rng: RngStream,
+        binaries: list[_Binary],
+        intensity: float = 1.0,
+    ) -> None:
+        self.client = client
+        self.engine = engine
+        self.rng = rng
+        self.binaries = binaries
+        self.intensity = intensity
+        self._last_activity = -1e9
+
+    @staticmethod
+    def build_binaries(rng: RngStream, count: int = 24) -> list[_Binary]:
+        """The cluster's shared program binaries (shells, editors,
+        compilers, simulators...)."""
+        binaries = []
+        for index in range(count):
+            total = int(rng.lognormal(mu=12.3, sigma=0.8))  # median ~220 KB
+            total = max(48 * KB, min(total, 4 * MB))
+            binaries.append(
+                _Binary(
+                    file_id=EXECUTABLE_FILE_ID_BASE + index,
+                    code_bytes=int(total * 0.7),
+                    data_bytes=total - int(total * 0.7),
+                )
+            )
+        return binaries
+
+    def _pick_binary(self) -> _Binary:
+        """Zipf-popular binaries: everyone runs the same shell and
+        editor; the big simulators are rare."""
+        rank = self.rng.zipf_rank(len(self.binaries), s=1.1)
+        return self.binaries[rank]
+
+    def on_activity(self, now: float, migrated: bool) -> None:
+        """Called for every open the client performs."""
+        idle_for = now - self._last_activity
+        self._last_activity = now
+        if idle_for > self.IDLE_THRESHOLD:
+            self._startup_burst(now, migrated)
+            return
+        # Steady-state paging: a little traffic per pulse, tuned so
+        # paging lands near the measured share of total bytes.
+        pages = self.rng.poisson(1.4 * self.intensity)
+        for _ in range(pages):
+            self._one_fault(now)
+
+    def _one_fault(self, now: float) -> None:
+        rng = self.rng
+        block = self.client.config.block_size
+        kind = rng.random()
+        if kind < 0.5:
+            # Backing-file traffic: never client-cached.  Page-outs of
+            # dirty pages slightly outnumber page-ins.
+            is_write = rng.bernoulli(0.55)
+            self.client.paging_backing(now, block, is_write)
+        elif kind < 0.9:
+            binary = self._pick_binary()
+            offset = rng.randint(0, max(0, binary.code_bytes - block))
+            self.client.read(
+                now, binary.file_id, offset, block, paging_kind="code"
+            )
+        else:
+            binary = self._pick_binary()
+            offset = binary.code_bytes + rng.randint(
+                0, max(0, binary.data_bytes - block)
+            )
+            self.client.read(
+                now, binary.file_id, offset, block, paging_kind="data"
+            )
+
+    def _startup_burst(self, now: float, migrated: bool) -> None:
+        """A process starts after idleness: fault in a chunk of its
+        binary, demand a working set from VM, release it later."""
+        rng = self.rng
+        binary = self._pick_binary()
+        block = self.client.config.block_size
+
+        # Code faults: the program's resident set of code pages.
+        code_span = min(
+            binary.code_bytes, int(rng.uniform(16 * KB, 160 * KB) * self.intensity)
+        )
+        if code_span > 0:
+            start = rng.randint(0, max(0, binary.code_bytes - code_span))
+            self.client.read(
+                now, binary.file_id, start, code_span, paging_kind="code"
+            )
+        # Initialized data: copied from the file cache at first touch.
+        data_span = min(binary.data_bytes, rng.randint(4 * KB, 32 * KB))
+        if data_span > 0:
+            self.client.read(
+                now,
+                binary.file_id,
+                binary.code_bytes,
+                data_span,
+                paging_kind="data",
+            )
+
+        # Working-set demand.  Migrated arrivals evict more (the paper's
+        # "user returns to a workstation used by migrated processes").
+        ws_mb = rng.uniform(0.3, 2.0) * (1.6 if migrated else 1.0)
+        ws_pages = int(ws_mb * MB) // block
+        shortfall = self.client.vm.demand(now, ws_pages)
+        if shortfall > 0:
+            surrendered = self.client.surrender_pages(now, shortfall)
+            self.client.vm.absorb(surrendered)
+
+        # The working set decays some tens of minutes later.
+        release_pages = ws_pages
+        self.engine.schedule_after(
+            rng.uniform(6 * 60.0, 25 * 60.0),
+            lambda: self.client.vm.release(self.engine.now, release_pages),
+        )

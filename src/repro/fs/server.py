@@ -1,0 +1,204 @@
+"""The file server: naming, caching, and cache consistency.
+
+Section 5's description, implemented directly:
+
+* Servers cache both naming information and file data; all naming
+  operations (opens, closes, deletes) pass through to the server.
+* Consistency uses three mechanisms: **timestamps** (a client flushes
+  stale blocks when the version it cached is out of date), **recall**
+  (the server tracks each file's last writer and recalls dirty data when
+  another client opens the file), and **cache disabling** (while a file
+  is concurrently write-shared, all clients bypass their caches and
+  every request goes to the server).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.common.errors import ConsistencyError
+from repro.fs.counters import ServerCounters
+from repro.fs.servercache import ServerCache
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fs.client import ClientKernel
+
+
+@dataclass
+class FileServerState:
+    """Consistency metadata for one file."""
+
+    file_id: int
+    version: int = 0
+    #: Client that last wrote the file (-1 = none / written back).
+    last_writer: int = -1
+    #: Clients currently holding the file open for reading.
+    readers: dict[int, int] = field(default_factory=dict)  # client -> count
+    #: Clients currently holding the file open for writing.
+    writers: dict[int, int] = field(default_factory=dict)
+    #: True while concurrent write-sharing has caching disabled.
+    uncacheable: bool = False
+
+
+@dataclass
+class OpenReply:
+    """What the server tells an opening client."""
+
+    version: int
+    cacheable: bool
+    #: True if the server had to recall dirty data from another client.
+    recalled: bool
+
+
+class Server:
+    """The (single, aggregated) file server of the cluster.
+
+    The measured cluster had four servers with most traffic on one; the
+    simulator models the aggregate, which is what Tables 5-9 measure.
+    """
+
+    def __init__(self, cache_bytes: int, block_size: int) -> None:
+        self.counters = ServerCounters()
+        self.cache = ServerCache(cache_bytes, block_size)
+        self._files: dict[int, FileServerState] = {}
+        self._clients: dict[int, "ClientKernel"] = {}
+        #: Invoked whenever a file's cacheability changes, with
+        #: (file_id, cacheable); used to tell clients to bypass caches.
+        self.on_cacheability_change: Callable[[int, bool], None] | None = None
+
+    def register_client(self, client: "ClientKernel") -> None:
+        if client.client_id in self._clients:
+            raise ConsistencyError(f"client {client.client_id} registered twice")
+        self._clients[client.client_id] = client
+
+    def state_of(self, file_id: int) -> FileServerState:
+        state = self._files.get(file_id)
+        if state is None:
+            state = FileServerState(file_id=file_id)
+            self._files[file_id] = state
+        return state
+
+    # --- the open/close protocol ------------------------------------------------
+
+    def open_file(
+        self, now: float, file_id: int, client_id: int, will_write: bool
+    ) -> OpenReply:
+        """Handle an open RPC; runs the three consistency mechanisms."""
+        self.counters.rpc_count += 1
+        self.counters.open_rpcs += 1
+        state = self.state_of(file_id)
+
+        # Recall: if another client holds dirty data for this file, pull
+        # it back so this open sees current bytes.
+        recalled = False
+        if state.last_writer not in (-1, client_id):
+            writer = self._clients.get(state.last_writer)
+            if writer is not None and writer.has_dirty_data(file_id):
+                writer.recall_dirty_data(now, file_id)
+                self.counters.recalls_issued += 1
+                recalled = True
+            state.last_writer = -1
+
+        # Register the open.
+        opens = state.writers if will_write else state.readers
+        opens[client_id] = opens.get(client_id, 0) + 1
+
+        # Concurrent write-sharing: any writer plus any other client.
+        sharing_clients = set(state.readers) | set(state.writers)
+        if state.writers and len(sharing_clients) > 1 and not state.uncacheable:
+            self._set_cacheability(file_id, state, cacheable=False)
+            self.counters.concurrent_write_sharing_opens += 1
+
+        if will_write:
+            state.version += 1
+
+        return OpenReply(
+            version=state.version,
+            cacheable=not state.uncacheable,
+            recalled=recalled,
+        )
+
+    def close_file(
+        self, now: float, file_id: int, client_id: int, wrote: bool
+    ) -> None:
+        """Handle a close RPC."""
+        self.counters.rpc_count += 1
+        self.counters.naming_rpcs += 1
+        state = self.state_of(file_id)
+        opens = state.writers if wrote else state.readers
+        count = opens.get(client_id, 0)
+        if count <= 1:
+            opens.pop(client_id, None)
+        else:
+            opens[client_id] = count - 1
+        if wrote:
+            state.last_writer = client_id
+
+        # Sprite keeps a file uncacheable until it has been closed by
+        # *all* clients (Section 5.6's description of the base scheme).
+        if state.uncacheable and not state.readers and not state.writers:
+            self._set_cacheability(file_id, state, cacheable=True)
+
+    def _set_cacheability(
+        self, file_id: int, state: FileServerState, cacheable: bool
+    ) -> None:
+        state.uncacheable = not cacheable
+        if not cacheable:
+            self.counters.cache_disables += 1
+        if self.on_cacheability_change is not None:
+            self.on_cacheability_change(file_id, cacheable)
+
+    def note_written_back(self, file_id: int, client_id: int) -> None:
+        """A client finished writing back all dirty data for a file."""
+        state = self.state_of(file_id)
+        if state.last_writer == client_id:
+            state.last_writer = -1
+
+    # --- data plane -----------------------------------------------------------
+
+    def fetch_block(self, now: float, file_id: int, index: int, nbytes: int) -> None:
+        """A client cache fetches a block (read miss or write fetch)."""
+        self.counters.rpc_count += 1
+        self.counters.block_reads += 1
+        self.counters.block_read_bytes += nbytes
+        if self.cache.access(file_id, index, now):
+            self.counters.server_cache_hits += 1
+        else:
+            self.counters.server_cache_misses += 1
+            self.counters.disk_reads += 1
+
+    def write_block(self, now: float, file_id: int, index: int, nbytes: int) -> None:
+        """A client writes back a dirty block."""
+        self.counters.rpc_count += 1
+        self.counters.block_writes += 1
+        self.counters.block_write_bytes += nbytes
+        self.cache.install(file_id, index, now)
+        # 30 seconds later the server's own daemon writes it to disk;
+        # the model books the disk write immediately (same count).
+        self.counters.disk_writes += 1
+
+    def passthrough_read(self, now: float, file_id: int, nbytes: int) -> None:
+        """An uncacheable read (shared file or directory)."""
+        self.counters.rpc_count += 1
+        self.counters.passthrough_read_bytes += nbytes
+
+    def passthrough_write(self, now: float, file_id: int, nbytes: int) -> None:
+        """An uncacheable write (shared file)."""
+        self.counters.rpc_count += 1
+        self.counters.passthrough_write_bytes += nbytes
+
+    def paging_transfer(self, now: float, nbytes: int) -> None:
+        """Backing-file paging traffic (never client-cached)."""
+        self.counters.rpc_count += 1
+        self.counters.paging_bytes += nbytes
+
+    def name_operation(self, now: float) -> None:
+        """A naming RPC with no bulk data (delete, truncate, lookup)."""
+        self.counters.rpc_count += 1
+        self.counters.naming_rpcs += 1
+
+    def invalidate_file(self, file_id: int) -> None:
+        """Drop all server state for a deleted file."""
+        self._files.pop(file_id, None)
+        self.cache.invalidate_file(file_id)

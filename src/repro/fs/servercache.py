@@ -1,0 +1,59 @@
+"""The server's block cache.
+
+The main file server had 128 Mbytes of memory, and "on file servers, the
+caches automatically adjust themselves to fill nearly all of memory"
+(Section 5.1).  The model is a plain LRU over block keys with a fixed
+byte capacity -- capacity negotiation matters on clients, not here.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.common.errors import CacheError
+
+
+class ServerCache:
+    """Fixed-capacity LRU of (file_id, block_index) keys."""
+
+    def __init__(self, capacity_bytes: int, block_size: int) -> None:
+        if capacity_bytes <= 0 or block_size <= 0:
+            raise CacheError(
+                f"bad server cache geometry: {capacity_bytes}/{block_size}"
+            )
+        self.capacity_blocks = max(1, capacity_bytes // block_size)
+        self.block_size = block_size
+        self._blocks: OrderedDict[tuple[int, int], float] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def access(self, file_id: int, index: int, now: float) -> bool:
+        """Read access; returns True on hit, installing on miss."""
+        key = (file_id, index)
+        if key in self._blocks:
+            self._blocks.move_to_end(key)
+            self._blocks[key] = now
+            self.hits += 1
+            return True
+        self.misses += 1
+        self.install(file_id, index, now)
+        return False
+
+    def install(self, file_id: int, index: int, now: float) -> None:
+        """Place a block in the cache (after a disk read or writeback)."""
+        key = (file_id, index)
+        if key in self._blocks:
+            self._blocks.move_to_end(key)
+        self._blocks[key] = now
+        while len(self._blocks) > self.capacity_blocks:
+            self._blocks.popitem(last=False)
+
+    def invalidate_file(self, file_id: int) -> int:
+        """Drop all blocks of one file; returns how many were dropped."""
+        victims = [key for key in self._blocks if key[0] == file_id]
+        for key in victims:
+            del self._blocks[key]
+        return len(victims)

@@ -1,0 +1,139 @@
+"""The discrete-event engine: a clock plus a heap of pending callbacks.
+
+Events scheduled at the same timestamp fire in scheduling order (FIFO),
+which keeps runs deterministic regardless of heap tie-breaking.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.errors import SchedulingError
+
+Callback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: Callback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Returned by :meth:`Engine.schedule`; lets the creator cancel."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class Engine:
+    """A monotonic simulated clock driving timestamped callbacks."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._heap: list[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._events_run = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    @property
+    def events_run(self) -> int:
+        """Total callbacks executed so far."""
+        return self._events_run
+
+    def schedule_at(self, time: float, callback: Callback) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at {time}; the clock is already at {self._now}"
+            )
+        event = _ScheduledEvent(
+            time=time, sequence=next(self._sequence), callback=callback
+        )
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_after(self, delay: float, callback: Callback) -> EventHandle:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay: {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def run_until(self, end_time: float) -> None:
+        """Fire all events with time <= ``end_time``, then advance the
+        clock to exactly ``end_time``."""
+        if end_time < self._now:
+            raise SchedulingError(
+                f"cannot run until {end_time}; the clock is already at {self._now}"
+            )
+        while self._heap and self._heap[0].time <= end_time:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_run += 1
+            event.callback()
+        self._now = end_time
+
+    def run_all(self, max_events: int = 10_000_000) -> None:
+        """Fire every pending event; guard against runaway self-scheduling."""
+        fired = 0
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_run += 1
+            event.callback()
+            fired += 1
+            if fired > max_events:
+                raise SchedulingError(
+                    f"run_all exceeded {max_events} events; runaway timer?"
+                )
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward without firing events (used by
+        trace-driven components that interleave with the event loop)."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot move the clock backwards from {self._now} to {time}"
+            )
+        if self._heap and not all(e.cancelled for e in self._heap):
+            next_time = min(e.time for e in self._heap if not e.cancelled)
+            if next_time < time:
+                raise SchedulingError(
+                    f"advance_to({time}) would skip an event at {next_time}; "
+                    "use run_until instead"
+                )
+        self._now = time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Engine(now={self._now:.3f}, pending={self.pending})"

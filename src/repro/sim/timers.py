@@ -1,0 +1,65 @@
+"""Recurring timers built on the event engine.
+
+Sprite's writeback daemon wakes every 5 seconds; the counter collector
+snapshots at a regular period.  Both are :class:`RecurringTimer`\\ s.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import SchedulingError
+from repro.sim.engine import Engine, EventHandle
+
+
+class RecurringTimer:
+    """Fires a callback every ``period`` seconds until stopped.
+
+    The first firing happens ``period`` seconds after :meth:`start`
+    (matching a daemon that sleeps before its first scan) unless
+    ``fire_immediately`` is set.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        period: float,
+        callback: Callable[[], None],
+        fire_immediately: bool = False,
+    ) -> None:
+        if period <= 0:
+            raise SchedulingError(f"timer period must be positive, got {period}")
+        self._engine = engine
+        self.period = period
+        self._callback = callback
+        self._fire_immediately = fire_immediately
+        self._handle: EventHandle | None = None
+        self._running = False
+        self.fire_count = 0
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        """Begin firing.  Starting an already-running timer is an error."""
+        if self._running:
+            raise SchedulingError("timer is already running")
+        self._running = True
+        delay = 0.0 if self._fire_immediately else self.period
+        self._handle = self._engine.schedule_after(delay, self._fire)
+
+    def stop(self) -> None:
+        """Stop firing.  Idempotent."""
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self.fire_count += 1
+        self._callback()
+        if self._running:
+            self._handle = self._engine.schedule_after(self.period, self._fire)

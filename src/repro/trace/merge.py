@@ -1,0 +1,63 @@
+"""Merging per-server trace streams.
+
+Each Sprite server logged its own trace files; the paper's tooling merged
+them into a single time-ordered stream.  :func:`merge_streams` is a
+stable k-way merge: records are ordered by timestamp, with ties broken by
+stream index and then arrival order, so merging is deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator
+
+from repro.common.errors import TraceOrderError
+from repro.trace.records import TraceRecord
+
+
+def merge_streams(
+    streams: Iterable[Iterable[TraceRecord]],
+    check_sorted: bool = True,
+) -> Iterator[TraceRecord]:
+    """Merge timestamp-sorted record streams into one sorted stream.
+
+    Each input stream must itself be sorted by time; with
+    ``check_sorted`` (the default) a violation raises
+    :class:`TraceOrderError` naming the offending stream.
+    """
+    iterators = [iter(stream) for stream in streams]
+    heap: list[tuple[float, int, int, TraceRecord]] = []
+    last_time = [float("-inf")] * len(iterators)
+    sequence = 0
+
+    def push(stream_index: int) -> None:
+        nonlocal sequence
+        try:
+            record = next(iterators[stream_index])
+        except StopIteration:
+            return
+        if check_sorted and record.time < last_time[stream_index]:
+            raise TraceOrderError(
+                f"stream {stream_index} went backwards: "
+                f"{record.time} after {last_time[stream_index]}"
+            )
+        last_time[stream_index] = record.time
+        heapq.heappush(heap, (record.time, stream_index, sequence, record))
+        sequence += 1
+
+    for index in range(len(iterators)):
+        push(index)
+
+    while heap:
+        _, stream_index, _, record = heapq.heappop(heap)
+        yield record
+        push(stream_index)
+
+
+def merge_sorted(records: Iterable[TraceRecord]) -> list[TraceRecord]:
+    """Sort an arbitrary record collection by time (stable).
+
+    The workload generator emits per-entity record lists that are easier
+    to produce unsorted; this is the final ordering pass.
+    """
+    return sorted(records, key=lambda record: record.time)

@@ -1,0 +1,66 @@
+"""Streaming trace reader."""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+from typing import IO, Iterator
+
+from repro.common.errors import TraceError
+from repro.trace.records import TraceRecord
+
+
+class TraceReader:
+    """Iterates records from a JSON-lines trace file.
+
+    Use as a context manager or with :func:`read_trace`.  The reader is
+    a single-pass iterator; open a new reader to rescan.
+    """
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = os.fspath(path)
+        self._handle: IO[str] | None = None
+        self.records_read = 0
+
+    def __enter__(self) -> "TraceReader":
+        self.open()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def open(self) -> None:
+        if self._handle is not None:
+            raise TraceError(f"trace reader for {self.path} is already open")
+        if self.path.endswith(".gz"):
+            self._handle = gzip.open(self.path, "rt", encoding="utf-8")
+        else:
+            self._handle = open(self.path, "r", encoding="utf-8")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        if self._handle is None:
+            raise TraceError("trace reader is not open")
+        for line_number, line in enumerate(self._handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(
+                    f"{self.path}:{line_number}: invalid JSON: {exc}"
+                ) from exc
+            self.records_read += 1
+            yield TraceRecord.from_dict(data)
+
+
+def read_trace(path: str | os.PathLike[str]) -> Iterator[TraceRecord]:
+    """Yield every record in the trace file at ``path``."""
+    with TraceReader(path) as reader:
+        yield from reader

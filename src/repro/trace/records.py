@@ -1,0 +1,262 @@
+"""Trace record vocabulary.
+
+The original traces recorded file activity at the level of kernel calls:
+they logged opens, closes, and repositions (with the file offset before
+and after), which is enough to deduce the exact range of bytes each
+sequential run transferred.  We store each deduced run explicitly as a
+``ReadRunRecord``/``WriteRunRecord`` emitted at the run's closing
+boundary -- the same information the paper's analysis recovered, one
+step earlier.
+
+Deletions carry the write times of the file's oldest and newest bytes,
+because that is exactly how the paper estimates lifetimes (Section 4.3):
+per-file lifetime is the average of the oldest and newest byte ages;
+per-byte lifetime assumes the file was written sequentially.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Type
+
+from repro.common.errors import TraceError
+
+
+class AccessMode(enum.Enum):
+    """The mode a file was opened in (the *intent*; Table 3 classifies by
+    what actually happened, which the analysis derives from the runs)."""
+
+    READ = "read"
+    WRITE = "write"
+    READ_WRITE = "read_write"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """Base class: every record has a timestamp (seconds from trace start)
+    and the server that logged it."""
+
+    time: float
+    server_id: int
+
+    #: Registry of kind-string -> record class, populated by subclasses.
+    _registry: ClassVar[dict[str, Type["TraceRecord"]]] = {}
+    kind: ClassVar[str] = "base"
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.kind in TraceRecord._registry:
+            raise TraceError(f"duplicate trace record kind {cls.kind!r}")
+        TraceRecord._registry[cls.kind] = cls
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize to a flat JSON-compatible dict."""
+        data: dict[str, Any] = {"kind": self.kind}
+        for item in fields(self):
+            value = getattr(self, item.name)
+            if isinstance(value, enum.Enum):
+                value = value.value
+            data[item.name] = value
+        return data
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "TraceRecord":
+        """Deserialize a dict produced by :meth:`to_dict`."""
+        try:
+            kind = data["kind"]
+        except KeyError:
+            raise TraceError(f"trace record missing 'kind': {data!r}") from None
+        cls = TraceRecord._registry.get(kind)
+        if cls is None:
+            raise TraceError(f"unknown trace record kind {kind!r}")
+        kwargs = {k: v for k, v in data.items() if k != "kind"}
+        if "mode" in kwargs and isinstance(kwargs["mode"], str):
+            kwargs["mode"] = AccessMode(kwargs["mode"])
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise TraceError(f"bad fields for {kind!r} record: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class OpenRecord(TraceRecord):
+    """A file open.  ``open_id`` ties together the whole open..close
+    episode; ``migrated`` marks activity performed by a migrated process
+    (the basis of Table 2's migration column)."""
+
+    kind: ClassVar[str] = "open"
+
+    open_id: int = 0
+    file_id: int = 0
+    user_id: int = 0
+    process_id: int = 0
+    client_id: int = 0
+    mode: AccessMode = AccessMode.READ
+    size_at_open: int = 0
+    migrated: bool = False
+
+
+@dataclass(frozen=True)
+class CloseRecord(TraceRecord):
+    """A file close, with the totals the server knew at close time."""
+
+    kind: ClassVar[str] = "close"
+
+    open_id: int = 0
+    file_id: int = 0
+    user_id: int = 0
+    client_id: int = 0
+    size_at_close: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    migrated: bool = False
+
+
+@dataclass(frozen=True)
+class ReadRunRecord(TraceRecord):
+    """One sequential read run within an open episode.
+
+    A run is bounded at the start by the open or a reposition and at the
+    end by the close or another reposition (Section 4.2's definition).
+    ``time`` is the run's closing boundary.
+    """
+
+    kind: ClassVar[str] = "read_run"
+
+    open_id: int = 0
+    file_id: int = 0
+    user_id: int = 0
+    client_id: int = 0
+    offset: int = 0
+    length: int = 0
+    migrated: bool = False
+
+
+@dataclass(frozen=True)
+class WriteRunRecord(TraceRecord):
+    """One sequential write run within an open episode."""
+
+    kind: ClassVar[str] = "write_run"
+
+    open_id: int = 0
+    file_id: int = 0
+    user_id: int = 0
+    client_id: int = 0
+    offset: int = 0
+    length: int = 0
+    migrated: bool = False
+
+
+@dataclass(frozen=True)
+class RepositionRecord(TraceRecord):
+    """An ``lseek`` that moved the file offset (random access marker)."""
+
+    kind: ClassVar[str] = "reposition"
+
+    open_id: int = 0
+    file_id: int = 0
+    user_id: int = 0
+    client_id: int = 0
+    offset_before: int = 0
+    offset_after: int = 0
+    migrated: bool = False
+
+
+@dataclass(frozen=True)
+class CreateRecord(TraceRecord):
+    """A file creation (new name in the hierarchy)."""
+
+    kind: ClassVar[str] = "create"
+
+    file_id: int = 0
+    user_id: int = 0
+    client_id: int = 0
+
+
+@dataclass(frozen=True)
+class DeleteRecord(TraceRecord):
+    """A file or directory removal.
+
+    ``oldest_byte_time``/``newest_byte_time`` are the write times of the
+    file's oldest and newest bytes, from which Section 4.3 estimates
+    lifetimes.  They are negative (sentinel ``-1.0``) for files never
+    written during the trace.
+    """
+
+    kind: ClassVar[str] = "delete"
+
+    file_id: int = 0
+    user_id: int = 0
+    client_id: int = 0
+    size: int = 0
+    oldest_byte_time: float = -1.0
+    newest_byte_time: float = -1.0
+
+
+@dataclass(frozen=True)
+class TruncateRecord(TraceRecord):
+    """A truncate-to-zero; the lifetime analysis treats it as a delete."""
+
+    kind: ClassVar[str] = "truncate"
+
+    file_id: int = 0
+    user_id: int = 0
+    client_id: int = 0
+    size: int = 0
+    oldest_byte_time: float = -1.0
+    newest_byte_time: float = -1.0
+
+
+@dataclass(frozen=True)
+class SharedReadRecord(TraceRecord):
+    """A single read request on a file undergoing concurrent
+    write-sharing.  While a file is uncacheable every request passes
+    through to the server, so these were easy for the authors to log;
+    they feed the consistency simulations of Sections 5.5 and 5.6."""
+
+    kind: ClassVar[str] = "shared_read"
+
+    file_id: int = 0
+    user_id: int = 0
+    client_id: int = 0
+    offset: int = 0
+    length: int = 0
+    migrated: bool = False
+
+
+@dataclass(frozen=True)
+class SharedWriteRecord(TraceRecord):
+    """A single write request on a file undergoing write-sharing."""
+
+    kind: ClassVar[str] = "shared_write"
+
+    file_id: int = 0
+    user_id: int = 0
+    client_id: int = 0
+    offset: int = 0
+    length: int = 0
+    migrated: bool = False
+
+
+@dataclass(frozen=True)
+class DirectoryReadRecord(TraceRecord):
+    """A user-level directory read (e.g. listing a directory); Sprite does
+    not cache directories on clients, so these always reach the server."""
+
+    kind: ClassVar[str] = "dir_read"
+
+    file_id: int = 0
+    user_id: int = 0
+    client_id: int = 0
+    length: int = 0
+
+
+#: Records whose byte counts Table 1 reports as "read from files".
+#: Shared-request records are the per-request server log for write-shared
+#: files; their bytes are already covered by the coalesced run records,
+#: so counting both would double-count.
+READ_TRANSFER_KINDS = ("read_run",)
+
+#: Records whose byte counts Table 1 reports as "written to files".
+WRITE_TRANSFER_KINDS = ("write_run",)

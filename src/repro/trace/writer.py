@@ -1,0 +1,73 @@
+"""Streaming trace writer (JSON lines, optionally gzip-compressed).
+
+One line per record keeps the format greppable and allows traces far
+larger than memory to be produced and consumed as streams, which matters
+for day-long synthetic traces with hundreds of thousands of events.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+from typing import IO, Iterable
+
+from repro.common.errors import TraceError
+from repro.trace.records import TraceRecord
+
+
+class TraceWriter:
+    """Writes trace records to a JSON-lines file.
+
+    Use as a context manager::
+
+        with TraceWriter(path) as writer:
+            writer.write(record)
+    """
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = os.fspath(path)
+        self._handle: IO[str] | None = None
+        self.records_written = 0
+
+    def __enter__(self) -> "TraceWriter":
+        self.open()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def open(self) -> None:
+        if self._handle is not None:
+            raise TraceError(f"trace writer for {self.path} is already open")
+        if self.path.endswith(".gz"):
+            self._handle = gzip.open(self.path, "wt", encoding="utf-8")
+        else:
+            self._handle = open(self.path, "w", encoding="utf-8")
+
+    def write(self, record: TraceRecord) -> None:
+        """Append one record."""
+        if self._handle is None:
+            raise TraceError("trace writer is not open")
+        json.dump(record.to_dict(), self._handle, separators=(",", ":"))
+        self._handle.write("\n")
+        self.records_written += 1
+
+    def write_all(self, records: Iterable[TraceRecord]) -> int:
+        """Append many records; returns how many were written."""
+        count = 0
+        for record in records:
+            self.write(record)
+            count += 1
+        return count
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def write_trace(path: str | os.PathLike[str], records: Iterable[TraceRecord]) -> int:
+    """Write an entire record stream to ``path``; returns the count."""
+    with TraceWriter(path) as writer:
+        return writer.write_all(records)

@@ -1,0 +1,44 @@
+"""Synthetic Sprite-style workload generation.
+
+The original eight 24-hour Berkeley traces are not distributable, so this
+package builds the closest synthetic equivalent: a population of users in
+the paper's four groups (operating systems, architecture, VLSI/parallel,
+miscellaneous), each running application models -- editing, pmake-driven
+compilation with process migration, multi-megabyte simulations, mail,
+document production -- whose file access behaviour is calibrated, trace
+by trace, to the distributions the paper reports (Tables 1-3,
+Figures 1-4).
+
+The entry point is :func:`generate_standard_traces`, which produces the
+eight traces of the study; each is a :class:`SyntheticTrace` carrying the
+time-ordered records plus generation metadata.
+"""
+
+from repro.workload.distributions import FileSizeModel, SizeClass
+from repro.workload.users import UserGroup, UserProfile, build_user_population
+from repro.workload.filespace import FileSpace, FileState
+from repro.workload.emitter import RecordEmitter
+from repro.workload.profiles import TraceProfile, STANDARD_PROFILES
+from repro.workload.generator import (
+    SyntheticTrace,
+    TraceGenerator,
+    generate_standard_traces,
+    generate_trace,
+)
+
+__all__ = [
+    "FileSizeModel",
+    "SizeClass",
+    "UserGroup",
+    "UserProfile",
+    "build_user_population",
+    "FileSpace",
+    "FileState",
+    "RecordEmitter",
+    "TraceProfile",
+    "STANDARD_PROFILES",
+    "SyntheticTrace",
+    "TraceGenerator",
+    "generate_trace",
+    "generate_standard_traces",
+]

@@ -1,0 +1,177 @@
+"""The user population.
+
+Section 2: about 30 users did all their computing on the cluster and
+another 40 used it occasionally, in four roughly equal groups --
+operating systems researchers, architecture researchers simulating I/O
+subsystems, a VLSI/parallel-processing group, and miscellaneous others
+(administrators, graphics).  Different groups run different application
+mixes; the architecture and parallel groups are the source of the
+multi-megabyte simulation files.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.ids import ClientId, UserId
+from repro.common.rng import RngStream
+
+
+class UserGroup(enum.Enum):
+    """The paper's four user communities."""
+
+    OS = "os"
+    ARCHITECTURE = "architecture"
+    VLSI_PARALLEL = "vlsi_parallel"
+    MISC = "misc"
+
+
+#: Relative weight of each application kind per group.  Application
+#: kinds are interpreted by :mod:`repro.workload.apps`.
+GROUP_APP_MIX: dict[UserGroup, dict[str, float]] = {
+    UserGroup.OS: {
+        "edit": 0.22,
+        "compile": 0.22,
+        "shell": 0.26,
+        "mail": 0.10,
+        "document": 0.05,
+        "simulation": 0.04,
+        "shared_log": 0.05,
+        "browse": 0.06,
+    },
+    UserGroup.ARCHITECTURE: {
+        "edit": 0.20,
+        "compile": 0.20,
+        "shell": 0.24,
+        "mail": 0.10,
+        "document": 0.05,
+        "simulation": 0.10,
+        "shared_log": 0.05,
+        "browse": 0.06,
+    },
+    UserGroup.VLSI_PARALLEL: {
+        "edit": 0.20,
+        "compile": 0.20,
+        "shell": 0.24,
+        "mail": 0.09,
+        "document": 0.05,
+        "simulation": 0.10,
+        "shared_log": 0.06,
+        "browse": 0.06,
+    },
+    UserGroup.MISC: {
+        "edit": 0.24,
+        "mail": 0.22,
+        "shell": 0.18,
+        "document": 0.16,
+        "compile": 0.06,
+        "simulation": 0.01,
+        "shared_log": 0.04,
+        "browse": 0.09,
+    },
+}
+
+#: Groups whose members use pmake (and hence migration) routinely.
+MIGRATION_PROPENSITY: dict[UserGroup, float] = {
+    UserGroup.OS: 0.75,
+    UserGroup.ARCHITECTURE: 0.55,
+    UserGroup.VLSI_PARALLEL: 0.55,
+    UserGroup.MISC: 0.10,
+}
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """One user of the cluster."""
+
+    user_id: UserId
+    group: UserGroup
+    home_client: ClientId
+    #: Day-to-day users session much more than occasional ones.
+    regular: bool
+    #: Expected number of sessions this user starts per 24 hours.
+    sessions_per_day: float
+    #: Whether this user reaches for pmake/migration at all.
+    uses_migration: bool
+
+    @property
+    def shares_files(self) -> bool:
+        """Whether this user participates in shared-file activity.
+
+        Sharing was concentrated in subgroups working on joint projects
+        (the paper found a large error count but only about half the
+        users affected); roughly 40% of users are in such a clique.
+        """
+        return int(self.user_id) % 5 < 2
+
+    def app_mix(self) -> dict[str, float]:
+        """The application mix for this user's group."""
+        return GROUP_APP_MIX[self.group]
+
+
+def build_user_population(
+    rng: RngStream,
+    regular_users: int,
+    occasional_users: int,
+    client_count: int,
+    migration_user_target: int,
+) -> list[UserProfile]:
+    """Create the user population for one trace.
+
+    ``migration_user_target`` pins roughly how many users employ
+    migration during the day (Table 1's "Users of migration" row runs
+    from 6 to 15).
+    """
+    if client_count <= 0:
+        raise ConfigError(f"need at least one client, got {client_count}")
+    total = regular_users + occasional_users
+    if total <= 0:
+        raise ConfigError("need at least one user")
+    if migration_user_target > total:
+        raise ConfigError(
+            f"cannot have {migration_user_target} migration users out of {total}"
+        )
+
+    groups = list(UserGroup)
+    users: list[UserProfile] = []
+    for index in range(total):
+        regular = index < regular_users
+        group = groups[index % len(groups)]
+        user_rng = rng.fork(f"user-{index}")
+        sessions = (
+            user_rng.uniform(4.0, 9.0) if regular else user_rng.uniform(0.5, 2.0)
+        )
+        users.append(
+            UserProfile(
+                user_id=UserId(index),
+                group=group,
+                home_client=ClientId(index % client_count),
+                regular=regular,
+                sessions_per_day=sessions,
+                uses_migration=False,  # assigned below
+            )
+        )
+
+    # Pick the migration users, biased by group propensity and toward
+    # regular users (pmake is a daily-driver tool).
+    candidates = sorted(
+        users,
+        key=lambda u: (
+            -MIGRATION_PROPENSITY[u.group] * (2.0 if u.regular else 1.0),
+            u.user_id,
+        ),
+    )
+    chosen = {u.user_id for u in candidates[:migration_user_target]}
+    return [
+        UserProfile(
+            user_id=u.user_id,
+            group=u.group,
+            home_client=u.home_client,
+            regular=u.regular,
+            sessions_per_day=u.sessions_per_day,
+            uses_migration=u.user_id in chosen,
+        )
+        for u in users
+    ]

@@ -1,0 +1,224 @@
+"""Unit tests for the caching post-processing with hand-built counters.
+
+The cluster-driven integration tests check plausibility; these check
+the exact per-machine-day arithmetic of Tables 4-9 on synthetic
+counter values.
+"""
+
+import pytest
+
+from repro.caching import (
+    MachineDay,
+    compute_cache_sizes,
+    compute_cleaning,
+    compute_effectiveness,
+    compute_replacement,
+    compute_server_traffic,
+    compute_traffic_sources,
+    machine_days,
+)
+from repro.caching.aggregate import ratio
+from repro.fs.counters import ClientCounters, CounterSnapshot
+
+
+def day(client_id=0, trace_index=0, snapshots=None, **counter_values):
+    counters = ClientCounters()
+    counters.file_open_ops = 100  # active by default
+    for name, value in counter_values.items():
+        setattr(counters, name, value)
+    return MachineDay(
+        client_id=client_id,
+        trace_index=trace_index,
+        counters=counters,
+        snapshots=snapshots or [],
+    )
+
+
+class TestRatioGuard:
+    def test_normal(self):
+        assert ratio(1.0, 4.0) == 0.25
+
+    def test_zero_denominator_is_none(self):
+        assert ratio(1.0, 0.0) is None
+
+    def test_zero_numerator_is_zero(self):
+        assert ratio(0.0, 4.0) == 0.0
+
+
+class TestMachineDays:
+    def test_idle_machines_screened(self, cluster_result):
+        days = machine_days([cluster_result], only_active=False)
+        idle = [d for d in days if d.counters.file_open_ops < 20]
+        active = machine_days([cluster_result])
+        assert len(active) == len(days) - len(idle)
+
+    def test_trace_index_assigned(self, cluster_result):
+        days = machine_days([cluster_result, cluster_result])
+        assert {d.trace_index for d in days} <= {0, 1}
+
+
+class TestEffectivenessArithmetic:
+    def test_read_miss_ratio(self):
+        result = compute_effectiveness(
+            [day(cache_read_ops=100, cache_read_misses=40)]
+        )
+        assert result.read_miss.mean == pytest.approx(0.40)
+
+    def test_per_machine_day_average_not_pooled(self):
+        # One machine at 10% and one at 50%: per-machine-day mean is
+        # 30% even though the pooled ratio would be different.
+        days = [
+            day(client_id=0, cache_read_ops=1000, cache_read_misses=100),
+            day(client_id=1, cache_read_ops=10, cache_read_misses=5),
+        ]
+        result = compute_effectiveness(days)
+        assert result.read_miss.mean == pytest.approx(0.30)
+
+    def test_machines_without_ops_excluded(self):
+        days = [
+            day(client_id=0, cache_read_ops=100, cache_read_misses=50),
+            day(client_id=1, cache_read_ops=0, cache_read_misses=0),
+        ]
+        result = compute_effectiveness(days)
+        assert result.read_miss.count == 1
+
+    def test_writeback_ratio_can_exceed_one(self):
+        result = compute_effectiveness(
+            [day(cache_write_bytes=100, bytes_written_to_server=150)]
+        )
+        assert result.writeback_traffic.mean == pytest.approx(1.5)
+
+    def test_migrated_split_independent(self):
+        result = compute_effectiveness(
+            [day(cache_read_ops=100, cache_read_misses=50,
+                 migrated_read_ops=10, migrated_read_misses=1)]
+        )
+        assert result.read_miss.mean == pytest.approx(0.5)
+        assert result.migrated_read_miss.mean == pytest.approx(0.1)
+
+
+class TestTrafficArithmetic:
+    def test_shares(self):
+        result = compute_traffic_sources(
+            [day(file_bytes_read=500, file_bytes_written=300,
+                 paging_code_bytes=100,
+                 paging_backing_bytes_read=50,
+                 paging_backing_bytes_written=50)]
+        )
+        assert result.shares["cached_file_reads"].mean == pytest.approx(0.5)
+        assert result.paging_share.mean == pytest.approx(0.2)
+        assert result.uncacheable_share.mean == pytest.approx(0.1)
+
+    def test_shares_sum_to_one(self):
+        result = compute_traffic_sources(
+            [day(file_bytes_read=123, file_bytes_written=45,
+                 shared_bytes_read=6, directory_bytes_read=7,
+                 paging_code_bytes=89, paging_data_bytes=10,
+                 paging_backing_bytes_read=11,
+                 paging_backing_bytes_written=12)]
+        )
+        total = sum(stat.mean for stat in result.shares.values())
+        assert total == pytest.approx(1.0)
+
+    def test_zero_traffic_machine_skipped(self):
+        result = compute_traffic_sources([day()])
+        assert result.paging_share.count == 0
+
+
+class TestServerTrafficArithmetic:
+    def test_filter_ratio_global_vs_per_machine(self):
+        days = [
+            day(client_id=0, file_bytes_read=1000,
+                cache_read_miss_bytes=100),
+            day(client_id=1, file_bytes_read=100,
+                cache_read_miss_bytes=90),
+        ]
+        result = compute_server_traffic(days)
+        # Per-machine mean: (0.1 + 0.9) / 2 = 0.5.
+        assert result.filter_ratio.mean == pytest.approx(0.5)
+        # Global: 190 / 1100.
+        global_ratio = result.global_server_bytes / result.global_raw_bytes
+        assert global_ratio == pytest.approx(190 / 1100)
+
+    def test_read_write_ratio(self):
+        result = compute_server_traffic(
+            [day(cache_read_miss_bytes=200, bytes_written_to_server=100)]
+        )
+        assert result.read_write_ratio.mean == pytest.approx(2.0)
+
+
+class TestReplacementArithmetic:
+    def test_shares_and_ages(self):
+        result = compute_replacement(
+            [day(blocks_replaced_for_file=80, blocks_replaced_for_vm=20,
+                 replace_age_sum_file=80 * 600.0,
+                 replace_age_sum_vm=20 * 1200.0)]
+        )
+        assert result.for_file_share.mean == pytest.approx(0.8)
+        assert result.age_file_minutes.mean == pytest.approx(10.0)
+        assert result.age_vm_minutes.mean == pytest.approx(20.0)
+
+    def test_no_replacements_skipped(self):
+        result = compute_replacement([day()])
+        assert result.for_file_share.count == 0
+
+
+class TestCleaningArithmetic:
+    def test_shares_and_ages(self):
+        result = compute_cleaning(
+            [day(blocks_cleaned_delay=75, blocks_cleaned_fsync=15,
+                 blocks_cleaned_recall=9, blocks_cleaned_vm=1,
+                 clean_age_sum_delay=75 * 40.0)]
+        )
+        assert result.shares["30-second delay"].mean == pytest.approx(0.75)
+        assert result.ages["30-second delay"].mean == pytest.approx(40.0)
+        assert result.shares["Given to virtual memory"].mean == (
+            pytest.approx(0.01)
+        )
+
+    def test_shares_sum_to_one(self):
+        result = compute_cleaning(
+            [day(blocks_cleaned_delay=3, blocks_cleaned_fsync=2,
+                 blocks_cleaned_recall=1, blocks_cleaned_vm=4)]
+        )
+        total = sum(stat.mean for stat in result.shares.values())
+        assert total == pytest.approx(1.0)
+
+
+class TestCacheSizeWindows:
+    def make_snapshots(self, sizes_and_opens):
+        snapshots = []
+        for index, (size, opens) in enumerate(sizes_and_opens):
+            counters = ClientCounters()
+            counters.cache_size_bytes = size
+            counters.file_open_ops = opens
+            snapshots.append(
+                CounterSnapshot(time=index * 300.0, client_id=0,
+                                counters=counters)
+            )
+        return snapshots
+
+    def test_active_windows_only(self):
+        # Three snapshots in the first 15-minute window, activity rising
+        # -> the window counts; sizes span 1 MB.
+        snaps = self.make_snapshots(
+            [(1_000_000, 0), (1_500_000, 10), (2_000_000, 20)]
+        )
+        result = compute_cache_sizes([day(snapshots=snaps)])
+        assert result.change_15min.count == 1
+        assert result.change_15min.mean == pytest.approx(1_000_000)
+
+    def test_idle_windows_skipped(self):
+        snaps = self.make_snapshots(
+            [(1_000_000, 5), (2_000_000, 5), (3_000_000, 5)]
+        )  # open count never rises after the first snapshot
+        result = compute_cache_sizes([day(snapshots=snaps)])
+        # The first snapshot shows opens 0 -> 5 (activity), later ones
+        # show no new opens; windows with no rise contribute nothing
+        # beyond the first.
+        assert result.change_15min.count <= 1
+
+    def test_size_sampling_screens_idle(self):
+        snaps = self.make_snapshots([(1_000_000, 0), (5_000_000, 0)])
+        result = compute_cache_sizes([day(snapshots=snaps)])
+        assert result.size.count == 0  # never active

@@ -1,0 +1,200 @@
+"""Unit tests for the discrete-event engine and timers."""
+
+import pytest
+
+from repro.common.errors import SchedulingError
+from repro.sim import Engine, RecurringTimer
+
+
+class TestEngine:
+    def test_clock_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_clock_custom_start(self):
+        assert Engine(start_time=5.0).now == 5.0
+
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(3.0, lambda: fired.append(3))
+        engine.schedule_at(1.0, lambda: fired.append(1))
+        engine.schedule_at(2.0, lambda: fired.append(2))
+        engine.run_until(10.0)
+        assert fired == [1, 2, 3]
+
+    def test_ties_fire_fifo(self):
+        engine = Engine()
+        fired = []
+        for index in range(5):
+            engine.schedule_at(1.0, lambda i=index: fired.append(i))
+        engine.run_all()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_run_until_advances_clock(self):
+        engine = Engine()
+        engine.run_until(42.0)
+        assert engine.now == 42.0
+
+    def test_run_until_stops_at_boundary(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(5.0, lambda: fired.append("on-boundary"))
+        engine.schedule_at(5.001, lambda: fired.append("after"))
+        engine.run_until(5.0)
+        assert fired == ["on-boundary"]
+        assert engine.pending == 1
+
+    def test_schedule_in_past_raises(self):
+        engine = Engine()
+        engine.run_until(10.0)
+        with pytest.raises(SchedulingError):
+            engine.schedule_at(5.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SchedulingError):
+            Engine().schedule_after(-1.0, lambda: None)
+
+    def test_run_until_backwards_raises(self):
+        engine = Engine()
+        engine.run_until(10.0)
+        with pytest.raises(SchedulingError):
+            engine.run_until(5.0)
+
+    def test_cancel_prevents_firing(self):
+        engine = Engine()
+        fired = []
+        handle = engine.schedule_at(1.0, lambda: fired.append(1))
+        handle.cancel()
+        engine.run_all()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        engine = Engine()
+        handle = engine.schedule_at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert engine.pending == 0
+
+    def test_callback_sees_current_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_at(7.5, lambda: seen.append(engine.now))
+        engine.run_all()
+        assert seen == [7.5]
+
+    def test_callback_can_schedule_more(self):
+        engine = Engine()
+        fired = []
+
+        def first():
+            fired.append("first")
+            engine.schedule_after(1.0, lambda: fired.append("second"))
+
+        engine.schedule_at(1.0, first)
+        engine.run_until(5.0)
+        assert fired == ["first", "second"]
+
+    def test_run_all_guards_against_runaway(self):
+        engine = Engine()
+
+        def reschedule():
+            engine.schedule_after(1.0, reschedule)
+
+        engine.schedule_at(0.0, reschedule)
+        with pytest.raises(SchedulingError):
+            engine.run_all(max_events=100)
+
+    def test_advance_to_skipping_event_raises(self):
+        engine = Engine()
+        engine.schedule_at(5.0, lambda: None)
+        with pytest.raises(SchedulingError):
+            engine.advance_to(10.0)
+
+    def test_advance_to_before_events_ok(self):
+        engine = Engine()
+        engine.schedule_at(5.0, lambda: None)
+        engine.advance_to(3.0)
+        assert engine.now == 3.0
+
+    def test_events_run_counter(self):
+        engine = Engine()
+        engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None)
+        engine.run_all()
+        assert engine.events_run == 2
+
+
+class TestRecurringTimer:
+    def test_fires_every_period(self):
+        engine = Engine()
+        fired = []
+        timer = RecurringTimer(engine, 5.0, lambda: fired.append(engine.now))
+        timer.start()
+        engine.run_until(16.0)
+        assert fired == [5.0, 10.0, 15.0]
+        assert timer.fire_count == 3
+
+    def test_fire_immediately_option(self):
+        engine = Engine()
+        fired = []
+        timer = RecurringTimer(
+            engine, 5.0, lambda: fired.append(engine.now), fire_immediately=True
+        )
+        timer.start()
+        engine.run_until(6.0)
+        assert fired == [0.0, 5.0]
+
+    def test_stop_halts_firing(self):
+        engine = Engine()
+        fired = []
+        timer = RecurringTimer(engine, 1.0, lambda: fired.append(engine.now))
+        timer.start()
+        engine.run_until(2.5)
+        timer.stop()
+        engine.run_until(10.0)
+        assert fired == [1.0, 2.0]
+        assert not timer.running
+
+    def test_double_start_raises(self):
+        engine = Engine()
+        timer = RecurringTimer(engine, 1.0, lambda: None)
+        timer.start()
+        with pytest.raises(SchedulingError):
+            timer.start()
+
+    def test_stop_is_idempotent(self):
+        engine = Engine()
+        timer = RecurringTimer(engine, 1.0, lambda: None)
+        timer.start()
+        timer.stop()
+        timer.stop()
+
+    def test_restart_after_stop(self):
+        engine = Engine()
+        fired = []
+        timer = RecurringTimer(engine, 1.0, lambda: fired.append(engine.now))
+        timer.start()
+        engine.run_until(1.5)
+        timer.stop()
+        timer.start()
+        engine.run_until(3.0)
+        assert fired == [1.0, 2.5]
+
+    def test_bad_period_raises(self):
+        with pytest.raises(SchedulingError):
+            RecurringTimer(Engine(), 0.0, lambda: None)
+
+    def test_callback_stopping_timer_mid_fire(self):
+        engine = Engine()
+        fired = []
+        timer = RecurringTimer(engine, 1.0, lambda: None)
+
+        def fire_and_stop():
+            fired.append(engine.now)
+            timer.stop()
+
+        timer._callback = fire_and_stop
+        timer.start()
+        engine.run_until(5.0)
+        assert fired == [1.0]

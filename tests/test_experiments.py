@@ -1,0 +1,111 @@
+"""Tests for the experiment registry, CLI, and rendering helpers."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.render import (
+    byte_label,
+    format_number,
+    format_with_range,
+    format_with_spread,
+    render_table,
+    seconds_label,
+)
+from repro.experiments import (
+    EXPERIMENT_IDS,
+    PAPER_EXPECTATIONS,
+    ExperimentContext,
+    run_experiment,
+)
+from repro.experiments.cli import build_parser, main
+
+
+class TestRegistry:
+    def test_all_sixteen_experiments_registered(self):
+        assert len(EXPERIMENT_IDS) == 16
+        assert set(PAPER_EXPECTATIONS) == set(EXPERIMENT_IDS)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ConfigError, match="unknown experiment"):
+            run_experiment("table99")
+
+    def test_context_validates_scale(self):
+        with pytest.raises(ConfigError):
+            ExperimentContext(scale=0.0)
+
+    def test_context_client_count_scales(self):
+        assert ExperimentContext(scale=1.0).client_count == 40
+        assert ExperimentContext(scale=0.1).client_count == 4
+
+    def test_traces_are_cached(self, experiment_context):
+        assert experiment_context.traces() is experiment_context.traces()
+
+    @pytest.mark.parametrize("experiment_id", EXPERIMENT_IDS)
+    def test_every_experiment_runs(self, experiment_context, experiment_id):
+        result = run_experiment(experiment_id, experiment_context)
+        assert result.experiment_id == experiment_id
+        assert result.rendered
+        assert result.metrics
+        assert result.paper_expectation
+        assert all(
+            isinstance(value, (int, float)) for value in result.metrics.values()
+        )
+
+    def test_experiment_results_deterministic(self):
+        a = run_experiment("table10", ExperimentContext(scale=0.03, seed=5))
+        b = run_experiment("table10", ExperimentContext(scale=0.03, seed=5))
+        assert a.metrics == b.metrics
+
+
+class TestCli:
+    def test_parser_accepts_experiment(self):
+        args = build_parser().parse_args(["table2", "--scale", "0.2"])
+        assert args.experiment == "table2"
+        assert args.scale == 0.2
+
+    def test_parser_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+    def test_main_prints_result(self, capsys):
+        exit_code = main(["figure3", "--scale", "0.03", "--seed", "7"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Figure 3" in output
+        assert "Paper expectation" in output
+
+
+class TestRendering:
+    def test_format_number_integers(self):
+        assert format_number(42.0) == "42"
+        assert format_number(float("nan")) == "NA"
+        assert format_number(3.14159, 2) == "3.14"
+
+    def test_format_with_spread(self):
+        assert format_with_spread(8.0, 36.0) == "8.0 (36)"
+
+    def test_format_with_range(self):
+        assert format_with_range(1.7, 0.79, 3.35) == "1.70 (0.79-3.35)"
+
+    def test_render_table_alignment(self):
+        text = render_table("T", ["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len({len(line) for line in lines[2:5]}) <= 2
+
+    def test_render_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table("T", ["a"], [["1", "2"]])
+
+    def test_byte_label(self):
+        assert byte_label(100) == "100"
+        assert byte_label(1024) == "1K"
+        assert byte_label(1024 * 1024) == "1M"
+        assert byte_label(10 * 1024**3) == "10G"
+
+    def test_seconds_label(self):
+        assert seconds_label(0.01) == "10ms"
+        assert seconds_label(5) == "5s"
+        assert seconds_label(120) == "2m"
+        assert seconds_label(7200) == "2h"
+        assert seconds_label(172800) == "2d"

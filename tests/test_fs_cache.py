@@ -1,0 +1,277 @@
+"""Tests for the client block cache and the VM page-trading model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import CacheError, SimulationError
+from repro.fs.cache import BlockCache
+from repro.fs.vm import VirtualMemory
+
+
+@pytest.fixture()
+def cache():
+    return BlockCache(block_size=4096)
+
+
+class TestBlockCache:
+    def test_insert_and_get(self, cache):
+        block = cache.insert((1, 0), now=1.0)
+        assert cache.get((1, 0)) is block
+        assert (1, 0) in cache
+        assert len(cache) == 1
+        assert cache.size_bytes == 4096
+
+    def test_double_insert_raises(self, cache):
+        cache.insert((1, 0), now=1.0)
+        with pytest.raises(CacheError):
+            cache.insert((1, 0), now=2.0)
+
+    def test_lru_order(self, cache):
+        cache.insert((1, 0), now=1.0)
+        cache.insert((1, 1), now=2.0)
+        cache.insert((2, 0), now=3.0)
+        assert cache.lru_block().key == (1, 0)
+        cache.touch((1, 0), now=4.0)
+        assert cache.lru_block().key == (1, 1)
+
+    def test_evict_lru_removes_oldest(self, cache):
+        cache.insert((1, 0), now=1.0)
+        cache.insert((1, 1), now=2.0)
+        victim = cache.evict_lru()
+        assert victim.key == (1, 0)
+        assert len(cache) == 1
+
+    def test_evict_empty_raises(self, cache):
+        with pytest.raises(CacheError):
+            cache.evict_lru()
+
+    def test_touch_nonresident_raises(self, cache):
+        with pytest.raises(CacheError):
+            cache.touch((1, 0), now=1.0)
+
+    def test_mark_dirty_and_clean(self, cache):
+        cache.insert((1, 0), now=1.0)
+        cache.mark_dirty((1, 0), now=2.0)
+        assert cache.dirty_count == 1
+        block = cache.get((1, 0))
+        assert block.dirty
+        assert block.dirty_since == 2.0
+        cache.mark_clean((1, 0))
+        assert cache.dirty_count == 0
+        assert not block.dirty
+
+    def test_redirty_keeps_original_dirty_since(self, cache):
+        cache.insert((1, 0), now=1.0)
+        cache.mark_dirty((1, 0), now=2.0)
+        cache.mark_dirty((1, 0), now=9.0)
+        assert cache.get((1, 0)).dirty_since == 2.0
+
+    def test_dirty_after_clean_restamps(self, cache):
+        cache.insert((1, 0), now=1.0)
+        cache.mark_dirty((1, 0), now=2.0)
+        cache.mark_clean((1, 0))
+        cache.mark_dirty((1, 0), now=10.0)
+        assert cache.get((1, 0)).dirty_since == 10.0
+
+    def test_mark_dirty_nonresident_raises(self, cache):
+        with pytest.raises(CacheError):
+            cache.mark_dirty((1, 0), now=1.0)
+
+    def test_mark_clean_nondirty_raises(self, cache):
+        cache.insert((1, 0), now=1.0)
+        with pytest.raises(CacheError):
+            cache.mark_clean((1, 0))
+
+    def test_dirty_blocks_older_than(self, cache):
+        cache.insert((1, 0), now=0.0)
+        cache.insert((1, 1), now=0.0)
+        cache.mark_dirty((1, 0), now=1.0)
+        cache.mark_dirty((1, 1), now=50.0)
+        old = cache.dirty_blocks_older_than(30.0)
+        assert [b.key for b in old] == [(1, 0)]
+
+    def test_blocks_of_file_uses_index(self, cache):
+        cache.insert((1, 0), now=0.0)
+        cache.insert((1, 5), now=0.0)
+        cache.insert((2, 0), now=0.0)
+        assert {b.key for b in cache.blocks_of_file(1)} == {(1, 0), (1, 5)}
+        assert cache.blocks_of_file(99) == []
+
+    def test_dirty_blocks_of_file(self, cache):
+        cache.insert((1, 0), now=0.0)
+        cache.insert((1, 1), now=0.0)
+        cache.mark_dirty((1, 1), now=1.0)
+        assert [b.key for b in cache.dirty_blocks_of_file(1)] == [(1, 1)]
+
+    def test_invalidate_file(self, cache):
+        cache.insert((1, 0), now=0.0)
+        cache.insert((2, 0), now=0.0)
+        cache.mark_dirty((1, 0), now=1.0)
+        victims = cache.invalidate_file(1)
+        assert len(victims) == 1
+        assert cache.dirty_count == 0
+        assert (2, 0) in cache
+
+    def test_remove_cleans_all_indexes(self, cache):
+        cache.insert((1, 0), now=0.0)
+        cache.mark_dirty((1, 0), now=1.0)
+        cache.remove((1, 0))
+        assert cache.dirty_count == 0
+        assert cache.blocks_of_file(1) == []
+        with pytest.raises(CacheError):
+            cache.remove((1, 0))
+
+    def test_evict_dirty_lru_clears_dirty_index(self, cache):
+        cache.insert((1, 0), now=0.0)
+        cache.mark_dirty((1, 0), now=1.0)
+        cache.evict_lru()
+        assert cache.dirty_count == 0
+
+    def test_bad_block_size_raises(self):
+        with pytest.raises(CacheError):
+            BlockCache(block_size=0)
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "touch", "remove", "dirty"]),
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=5),
+            ),
+            max_size=100,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_index_consistency_property(self, ops):
+        """The per-file index always mirrors the block map."""
+        cache = BlockCache(block_size=4096)
+        now = 0.0
+        for op, file_id, index in ops:
+            now += 1.0
+            key = (file_id, index)
+            if op == "insert" and key not in cache:
+                cache.insert(key, now)
+            elif op == "touch" and key in cache:
+                cache.touch(key, now)
+            elif op == "remove" and key in cache:
+                cache.remove(key)
+            elif op == "dirty" and key in cache:
+                cache.mark_dirty(key, now)
+        indexed = {
+            key for keys in cache._by_file.values() for key in keys
+        }
+        assert indexed == set(cache._blocks)
+        assert set(cache._dirty) <= set(cache._blocks)
+
+
+class TestVirtualMemory:
+    def make(self, total=1000, base=200, floor=50):
+        return VirtualMemory(
+            total_pages=total,
+            preference_seconds=1200.0,
+            base_demand_pages=base,
+            cache_floor_pages=floor,
+        )
+
+    def test_initial_accounting(self):
+        vm = self.make()
+        assert vm.active == 200
+        assert vm.free == 800
+        assert vm.cache == 0
+
+    def test_claim_from_free(self):
+        vm = self.make()
+        assert vm.claim_for_cache(0.0, 10) == 10
+        assert vm.cache == 10
+        assert vm.free == 790
+
+    def test_claim_respects_young_aging_pages(self):
+        vm = self.make()
+        vm.claim_for_cache(0.0, 800)  # all free pages taken
+        vm.release(0.0, 100)  # pages begin aging at t=0
+        assert vm.claim_for_cache(100.0, 50) == 0  # too young
+        assert vm.claim_for_cache(1300.0, 50) == 50  # 20 minutes later
+
+    def test_demand_takes_free_first(self):
+        vm = self.make()
+        shortfall = vm.demand(0.0, 100)
+        assert shortfall == 0
+        assert vm.active == 300
+
+    def test_demand_reclaims_own_aging(self):
+        vm = self.make()
+        vm.release(0.0, 100)  # active 100, aging 100, free 800
+        vm.claim_for_cache(0.0, 700)  # cache 700, free 100
+        shortfall = vm.demand(1.0, 150)  # 100 free + 50 reclaimed aging
+        assert shortfall == 0
+        assert vm.aging == 50
+        assert vm.active == 250
+
+    def test_demand_shortfall_from_cache(self):
+        vm = self.make()
+        vm.claim_for_cache(0.0, 800)
+        shortfall = vm.demand(1.0, 100)
+        assert shortfall == 100
+        vm.release_from_cache(shortfall)
+        vm.absorb(shortfall)
+        assert vm.active == 300
+        assert vm.cache == 700
+
+    def test_demand_respects_cache_floor(self):
+        vm = self.make(total=300, base=100, floor=50)
+        vm.claim_for_cache(0.0, 200)
+        shortfall = vm.demand(1.0, 10_000)  # absurd demand
+        assert shortfall == 150  # cache can only give down to the floor
+
+    def test_release_caps_at_active(self):
+        vm = self.make()
+        vm.release(0.0, 10_000)
+        assert vm.active == 0
+        assert vm.aging == 200
+
+    def test_release_from_cache_validates(self):
+        vm = self.make()
+        with pytest.raises(SimulationError):
+            vm.release_from_cache(1)
+
+    def test_absorb_validates(self):
+        vm = self.make()
+        with pytest.raises(SimulationError):
+            vm.absorb(10_000)
+
+    def test_overcommit_construction_raises(self):
+        with pytest.raises(SimulationError):
+            VirtualMemory(total_pages=100, preference_seconds=1.0,
+                          base_demand_pages=90, cache_floor_pages=20)
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["claim", "demand", "release"]),
+                st.integers(min_value=1, max_value=200),
+            ),
+            max_size=80,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_page_conservation_property(self, ops):
+        """active + aging + cache + free == total, always."""
+        vm = VirtualMemory(
+            total_pages=1000, preference_seconds=100.0,
+            base_demand_pages=100, cache_floor_pages=10,
+        )
+        now = 0.0
+        for op, amount in ops:
+            now += 10.0
+            if op == "claim":
+                vm.claim_for_cache(now, amount)
+            elif op == "demand":
+                shortfall = vm.demand(now, amount)
+                # the "client" surrenders everything asked
+                vm.release_from_cache(shortfall)
+                vm.absorb(shortfall)
+            else:
+                vm.release(now, amount)
+            total = vm.active + vm.aging + vm.cache + vm.free
+            assert total == 1000

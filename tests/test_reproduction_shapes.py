@@ -1,0 +1,144 @@
+"""Integration tests: the paper's headline claims must hold in shape.
+
+These tests run the full pipeline at a small scale and assert the
+qualitative results of each table/figure -- who wins, rough magnitudes,
+where the crossovers fall -- matching the bands documented in
+EXPERIMENTS.md.  Absolute numbers differ from the paper (our substrate
+is a simulator), but these bands are the reproduction contract.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentContext, run_experiment
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(scale=0.1, seed=1991)
+
+
+class TestSection4Shapes:
+    def test_table1_trace_scale(self, ctx):
+        metrics = run_experiment("table1", ctx).metrics
+        # Totals scale with population; at scale 0.1 expect ~1/10 of the
+        # paper's 0.1-1.3M opens and 0.8-17.8 GB reads per trace pool.
+        assert metrics["total_opens"] > 5_000
+        assert metrics["total_mbytes_read"] > 300
+        assert 2 <= metrics["min_users"] <= metrics["max_users"] <= 50
+
+    def test_table2_throughput_and_bursts(self, ctx):
+        metrics = run_experiment("table2", ctx).metrics
+        # Paper: 8 KB/s per active user over 10-min intervals (20x BSD).
+        assert 2.0 < metrics["avg_user_throughput_10min_kbs"] < 32.0
+        # 10-second bursts far exceed the 10-minute average.
+        assert (metrics["avg_user_throughput_10s_kbs"]
+                > 2 * metrics["avg_user_throughput_10min_kbs"])
+        # Migration multiplies throughput (paper ~6x; accept >1.5x).
+        assert metrics["migration_burst_factor"] > 1.5
+        # Peak bursts reach megabytes/second.
+        assert metrics["peak_user_10s_kbs"] > 1000
+
+    def test_table3_access_mix(self, ctx):
+        metrics = run_experiment("table3", ctx).metrics
+        assert 0.78 < metrics["read_only_access_share"] < 0.95
+        assert 0.05 < metrics["write_only_access_share"] < 0.20
+        assert 0.0 < metrics["read_write_access_share"] < 0.03
+        assert 0.65 < metrics["ro_whole_file_share"] < 0.90
+        assert metrics["sequential_bytes_fraction"] > 0.90
+
+    def test_figure1_run_lengths(self, ctx):
+        metrics = run_experiment("figure1", ctx).metrics
+        assert 0.70 < metrics["runs_below_10kb"] < 0.92
+        assert metrics["bytes_in_runs_over_1mb"] >= 0.10
+
+    def test_figure2_file_sizes(self, ctx):
+        metrics = run_experiment("figure2", ctx).metrics
+        assert 0.65 < metrics["accesses_below_10kb"] < 0.92
+        assert metrics["bytes_from_files_over_1mb"] >= 0.30
+
+    def test_figure3_open_times(self, ctx):
+        metrics = run_experiment("figure3", ctx).metrics
+        assert 0.65 < metrics["opens_below_quarter_second"] < 0.95
+        assert metrics["median_open_seconds"] < 0.25
+
+    def test_figure4_lifetimes(self, ctx):
+        metrics = run_experiment("figure4", ctx).metrics
+        assert 0.60 < metrics["files_under_30s"] < 0.90
+        # Short-lived files are small: byte-weighted mass much lower.
+        assert metrics["bytes_under_30s"] < metrics["files_under_30s"] - 0.2
+
+
+class TestSection5Shapes:
+    def test_table4_cache_sizes(self, ctx):
+        metrics = run_experiment("table4", ctx).metrics
+        # Paper: ~7 MB of 24 MB (one quarter to one third of memory).
+        assert 3.0 < metrics["avg_cache_mb"] < 12.0
+        # Sizes vary by hundreds of KB over 15-minute windows.
+        assert metrics["avg_15min_change_kb"] > 50
+        assert metrics["max_15min_change_kb"] > 1000
+
+    def test_table5_traffic_sources(self, ctx):
+        metrics = run_experiment("table5", ctx).metrics
+        assert 0.20 < metrics["paging_share"] < 0.55
+        assert 0.08 < metrics["uncacheable_share"] < 0.35
+        assert metrics["write_shared_share"] < 0.05
+
+    def test_table6_cache_effectiveness(self, ctx):
+        metrics = run_experiment("table6", ctx).metrics
+        assert 0.15 < metrics["read_miss_ratio"] < 0.60
+        # Paper's surprise: migrated processes hit better than average.
+        assert (metrics["migrated_read_miss_ratio"]
+                < metrics["read_miss_ratio"] + 0.10)
+        assert 0.70 < metrics["writeback_traffic_ratio"] < 1.2
+        assert metrics["write_fetch_ratio"] < 0.05
+        # ~10% of new bytes die before writeback.
+        assert 0.03 < metrics["write_absorption"] < 0.30
+
+    def test_table7_server_traffic(self, ctx):
+        metrics = run_experiment("table7", ctx).metrics
+        assert 0.20 < metrics["paging_share"] < 0.60
+        assert metrics["write_shared_share"] < 0.05
+        # Caches filter roughly half of raw traffic.
+        assert 0.35 < metrics["global_filter_ratio"] < 0.75
+
+    def test_table8_replacement(self, ctx):
+        metrics = run_experiment("table8", ctx).metrics
+        # Most replacement makes room for other file blocks.
+        assert metrics["for_file_share"] > metrics["for_vm_share"] - 0.15
+        assert metrics["for_vm_share"] > 0.02
+        # Ages are tens of minutes or more.
+        assert metrics["age_file_minutes"] > 10
+
+    def test_table9_cleaning(self, ctx):
+        metrics = run_experiment("table9", ctx).metrics
+        # The 30-second delay dominates (paper ~3/4).
+        assert metrics["delay_share"] > 0.5
+        assert metrics["delay_share"] > metrics["fsync_share"]
+        assert metrics["delay_share"] > metrics["recall_share"]
+        assert metrics["vm_share"] < 0.15
+        assert 28 < metrics["delay_age_seconds"] < 60
+
+    def test_table10_consistency_rare(self, ctx):
+        metrics = run_experiment("table10", ctx).metrics
+        assert 0.0005 < metrics["write_sharing_fraction"] < 0.01
+        assert metrics["recall_fraction"] < 0.05
+        assert metrics["recall_fraction"] > metrics["write_sharing_fraction"]
+
+    def test_table11_polling_errors(self, ctx):
+        metrics = run_experiment("table11", ctx).metrics
+        # 60-second polling produces many errors; 3-second polling
+        # reduces them by an order of magnitude but not to zero.
+        assert metrics["errors_per_hour_60s"] > 1.0
+        assert metrics["error_reduction_factor"] > 4.0
+        assert metrics["users_affected_60s"] >= metrics["users_affected_3s"]
+        assert metrics["errors_per_hour_3s"] > 0.0
+
+    def test_table12_schemes_comparable(self, ctx):
+        metrics = run_experiment("table12", ctx).metrics
+        # Sprite moves exactly the requested bytes while sharing.
+        assert metrics["sprite_byte_ratio"] == pytest.approx(1.0, abs=0.1)
+        assert metrics["sprite_rpc_ratio"] == pytest.approx(1.0, abs=0.1)
+        # No scheme is dramatically worse (the paper's conclusion).
+        assert metrics["modified_byte_ratio"] < 1.5
+        assert metrics["token_byte_ratio"] < 2.0
+        assert metrics["token_rpc_ratio"] < 2.0

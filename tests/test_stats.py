@@ -1,0 +1,221 @@
+"""Unit and property tests for repro.common.stats."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.stats import (
+    Histogram,
+    MinMax,
+    RunningStat,
+    geometric_edges,
+    percentile,
+)
+
+
+class TestRunningStat:
+    def test_empty(self):
+        stat = RunningStat()
+        assert stat.count == 0
+        assert stat.mean == 0.0
+        assert stat.stddev == 0.0
+        assert stat.total == 0.0
+
+    def test_single_value(self):
+        stat = RunningStat()
+        stat.add(5.0)
+        assert stat.mean == 5.0
+        assert stat.variance == 0.0
+        assert stat.minimum == 5.0 == stat.maximum
+
+    def test_matches_statistics_module(self):
+        values = [1.5, 2.0, -3.0, 8.25, 0.0, 4.5]
+        stat = RunningStat()
+        stat.extend(values)
+        assert stat.mean == pytest.approx(statistics.fmean(values))
+        assert stat.stddev == pytest.approx(statistics.pstdev(values))
+
+    def test_weighted_add(self):
+        stat = RunningStat()
+        stat.add(2.0, weight=3)
+        stat.add(4.0, weight=1)
+        assert stat.count == 4
+        assert stat.mean == pytest.approx(2.5)
+
+    def test_zero_weight_ignored_in_count(self):
+        stat = RunningStat()
+        stat.add(2.0, weight=0)
+        assert stat.count == 0
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(ValueError):
+            RunningStat().add(1.0, weight=-1)
+
+    def test_total(self):
+        stat = RunningStat()
+        stat.extend([1.0, 2.0, 3.0])
+        assert stat.total == pytest.approx(6.0)
+
+    def test_merge_matches_combined(self):
+        a_values = [1.0, 2.0, 3.0]
+        b_values = [10.0, 20.0]
+        a, b = RunningStat(), RunningStat()
+        a.extend(a_values)
+        b.extend(b_values)
+        a.merge(b)
+        combined = a_values + b_values
+        assert a.count == len(combined)
+        assert a.mean == pytest.approx(statistics.fmean(combined))
+        assert a.stddev == pytest.approx(statistics.pstdev(combined))
+        assert a.minimum == min(combined)
+        assert a.maximum == max(combined)
+
+    def test_merge_into_empty(self):
+        a, b = RunningStat(), RunningStat()
+        b.extend([1.0, 2.0])
+        a.merge(b)
+        assert a.count == 2
+        assert a.mean == pytest.approx(1.5)
+
+    def test_merge_empty_is_noop(self):
+        a, b = RunningStat(), RunningStat()
+        a.extend([1.0, 2.0])
+        a.merge(b)
+        assert a.count == 2
+
+
+class TestMinMax:
+    def test_empty(self):
+        band = MinMax()
+        assert band.empty
+        with pytest.raises(ValueError):
+            band.as_tuple()
+
+    def test_tracks_extremes(self):
+        band = MinMax()
+        for value in [3.0, -1.0, 7.0]:
+            band.add(value)
+        assert band.as_tuple() == (-1.0, 7.0)
+
+
+class TestHistogram:
+    def test_requires_edges(self):
+        with pytest.raises(ValueError):
+            Histogram(edges=[])
+
+    def test_requires_increasing_edges(self):
+        with pytest.raises(ValueError):
+            Histogram(edges=[1.0, 1.0])
+
+    def test_bucket_assignment(self):
+        hist = Histogram(edges=[10.0, 100.0])
+        hist.add(5.0)
+        hist.add(10.0)  # boundary goes to the lower bucket
+        hist.add(50.0)
+        hist.add(1000.0)  # overflow
+        assert hist.counts == [2.0, 1.0, 1.0]
+
+    def test_weighted_mass(self):
+        hist = Histogram(edges=[10.0])
+        hist.add(5.0, weight=2.5)
+        assert hist.total == 2.5
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(ValueError):
+            Histogram(edges=[1.0]).add(0.5, weight=-1.0)
+
+    def test_fraction_at_or_below(self):
+        hist = Histogram(edges=[10.0, 100.0])
+        hist.add(5.0)
+        hist.add(50.0)
+        assert hist.fraction_at_or_below(10.0) == pytest.approx(0.5)
+        assert hist.fraction_at_or_below(100.0) == pytest.approx(1.0)
+
+    def test_fraction_of_empty_histogram(self):
+        hist = Histogram(edges=[1.0])
+        assert hist.fraction_at_or_below(1.0) == 0.0
+
+    def test_buckets_iteration(self):
+        hist = Histogram(edges=[1.0, 2.0])
+        buckets = list(hist.buckets())
+        assert len(buckets) == 3
+        assert buckets[-1][0] == math.inf
+
+    def test_counts_length_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(edges=[1.0], counts=[0.0])
+
+
+class TestGeometricEdges:
+    def test_spans_range(self):
+        edges = geometric_edges(1.0, 1000.0, per_decade=1)
+        assert edges[0] == 1.0
+        assert edges[-1] >= 1000.0
+
+    def test_per_decade_resolution(self):
+        edges = geometric_edges(1.0, 10.0, per_decade=4)
+        # Consecutive edges are a factor of 10^(1/4) apart.
+        for a, b in zip(edges, edges[1:]):
+            assert b / a == pytest.approx(10 ** 0.25)
+        assert 5 <= len(edges) <= 6  # floating-point may add one edge
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            geometric_edges(10.0, 1.0)
+        with pytest.raises(ValueError):
+            geometric_edges(0.0, 1.0)
+        with pytest.raises(ValueError):
+            geometric_edges(1.0, 10.0, per_decade=0)
+
+
+class TestPercentile:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_out_of_range_fraction(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.5) == 7.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 0.5) == 5.0
+
+    def test_endpoints(self):
+        values = [1.0, 2.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 3.0
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_running_stat_matches_reference(values):
+    stat = RunningStat()
+    stat.extend(values)
+    assert stat.mean == pytest.approx(statistics.fmean(values), abs=1e-6, rel=1e-6)
+    assert stat.stddev == pytest.approx(
+        statistics.pstdev(values), abs=1e-6, rel=1e-6
+    )
+
+
+@given(
+    st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
+    st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
+)
+@settings(max_examples=50, deadline=None)
+def test_merge_equals_extend(first, second):
+    merged = RunningStat()
+    merged.extend(first)
+    other = RunningStat()
+    other.extend(second)
+    merged.merge(other)
+    reference = RunningStat()
+    reference.extend(first + second)
+    assert merged.count == reference.count
+    assert merged.mean == pytest.approx(reference.mean, abs=1e-6, rel=1e-6)
+    assert merged.variance == pytest.approx(reference.variance, abs=1e-4, rel=1e-4)

@@ -1,0 +1,86 @@
+"""Unit tests for repro.common.units."""
+
+import pytest
+
+from repro.common import units
+
+
+class TestConstants:
+    def test_block_size_is_4k(self):
+        assert units.BLOCK_SIZE == 4096
+
+    def test_delayed_write_is_30_seconds(self):
+        assert units.DELAYED_WRITE_SECONDS == 30.0
+
+    def test_writeback_scan_is_5_seconds(self):
+        assert units.WRITEBACK_SCAN_INTERVAL == 5.0
+
+    def test_vm_preference_is_20_minutes(self):
+        assert units.VM_PREFERENCE_SECONDS == 1200.0
+
+    def test_byte_units_are_powers_of_1024(self):
+        assert units.MB == 1024 * units.KB
+        assert units.GB == 1024 * units.MB
+
+    def test_day_is_24_hours(self):
+        assert units.DAY == 24 * units.HOUR == 86400.0
+
+    def test_cluster_defaults_match_paper(self):
+        assert units.DEFAULT_CLIENT_COUNT == 40
+        assert units.DEFAULT_SERVER_COUNT == 4
+        assert units.DEFAULT_CLIENT_MEMORY == 24 * units.MB
+        assert units.DEFAULT_SERVER_MEMORY == 128 * units.MB
+
+
+class TestConversions:
+    def test_bytes_to_kbytes(self):
+        assert units.bytes_to_kbytes(2048) == 2.0
+
+    def test_bytes_to_mbytes(self):
+        assert units.bytes_to_mbytes(3 * units.MB) == 3.0
+
+
+class TestBlockMath:
+    def test_blocks_for_zero_bytes(self):
+        assert units.blocks_for(0) == 0
+
+    def test_blocks_for_one_byte(self):
+        assert units.blocks_for(1) == 1
+
+    def test_blocks_for_exact_block(self):
+        assert units.blocks_for(4096) == 1
+
+    def test_blocks_for_block_plus_one(self):
+        assert units.blocks_for(4097) == 2
+
+    def test_blocks_for_negative_raises(self):
+        with pytest.raises(ValueError):
+            units.blocks_for(-1)
+
+    def test_block_of_offsets(self):
+        assert units.block_of(0) == 0
+        assert units.block_of(4095) == 0
+        assert units.block_of(4096) == 1
+
+    def test_block_of_negative_raises(self):
+        with pytest.raises(ValueError):
+            units.block_of(-5)
+
+    def test_block_range_empty_for_zero_length(self):
+        assert list(units.block_range(100, 0)) == []
+
+    def test_block_range_within_one_block(self):
+        assert list(units.block_range(10, 100)) == [0]
+
+    def test_block_range_spanning_blocks(self):
+        assert list(units.block_range(4000, 200)) == [0, 1]
+
+    def test_block_range_exact_boundaries(self):
+        assert list(units.block_range(4096, 4096)) == [1]
+
+    def test_block_range_negative_length_raises(self):
+        with pytest.raises(ValueError):
+            units.block_range(0, -1)
+
+    def test_block_range_custom_block_size(self):
+        assert list(units.block_range(0, 1024, block_size=512)) == [0, 1]
