@@ -5,9 +5,26 @@ it (run with ``pytest benchmarks/ --benchmark-only -s`` to see the
 rendered output).  The expensive inputs -- the eight synthetic traces
 and the cluster replays -- are built once per session by the context
 fixture; the benchmarks time the analysis/simulation pipeline on top.
+
+The context build goes through the parallel pipeline.  Two environment
+variables control it:
+
+* ``REPRO_BENCH_WORKERS`` -- worker processes for the build stages
+  (0 = one per core; default 1, serial).
+* ``REPRO_BENCH_CACHE`` -- ``off`` disables the artifact cache; any
+  other value is the cache directory (default: the library default,
+  ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
+
+At session end the build's timing lands in
+``benchmarks/BENCH_pipeline.json``: per-stage wall seconds, worker
+count, and cache hit/miss/store counts.
 """
 
 from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
@@ -19,9 +36,26 @@ from repro.experiments import ExperimentContext
 BENCH_SCALE = 0.05
 
 
+def _bench_workers() -> int:
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
+
+def _bench_cache() -> bool | str:
+    value = os.environ.get("REPRO_BENCH_CACHE", "")
+    if value.lower() == "off":
+        return False
+    return value or True
+
+
 @pytest.fixture(scope="session")
-def ctx() -> ExperimentContext:
-    context = ExperimentContext(scale=BENCH_SCALE, seed=1991)
+def ctx(request) -> ExperimentContext:
+    context = ExperimentContext(
+        scale=BENCH_SCALE,
+        seed=1991,
+        workers=_bench_workers(),
+        cache=_bench_cache(),
+    )
+    request.config._repro_bench_ctx = context
     context.traces()  # build the eight traces once, up front
     return context
 
@@ -30,3 +64,16 @@ def ctx() -> ExperimentContext:
 def cluster_ctx(ctx) -> ExperimentContext:
     ctx.cluster_results()  # replay the normal traces once, up front
     return ctx
+
+
+def pytest_sessionfinish(session) -> None:
+    """Write the machine-readable pipeline timing report."""
+    context = getattr(session.config, "_repro_bench_ctx", None)
+    if context is None:
+        return
+    report = context.pipeline_report.as_dict()
+    report["workers"] = context.workers
+    cache = context._artifact_cache
+    report["cache"] = cache.stats.as_dict() if cache is not None else None
+    out = Path(__file__).parent / "BENCH_pipeline.json"
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

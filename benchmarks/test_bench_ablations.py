@@ -11,6 +11,7 @@ reports how the Section 5 results move:
   immediately) vs the 20-minute rule.
 """
 
+from dataclasses import fields
 from __future__ import annotations
 
 import pytest
@@ -23,7 +24,8 @@ from repro.fs.counters import ClientCounters
 def _aggregate(result) -> ClientCounters:
     total = ClientCounters()
     for counters in result.final_counters.values():
-        for name in vars(counters):
+        for field in fields(counters):
+            name = field.name
             setattr(total, name, getattr(total, name) + getattr(counters, name))
     return total
 

@@ -31,7 +31,7 @@ from repro.trace.records import (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class LogicalRun:
     """One sequential run: contiguous transfer of a single kind."""
 
@@ -45,7 +45,7 @@ class LogicalRun:
         return self.offset + self.length
 
 
-@dataclass
+@dataclass(slots=True)
 class Access:
     """One complete open..close episode with its logical runs."""
 
@@ -114,7 +114,7 @@ def assemble_accesses(records: Iterable[TraceRecord]) -> Iterator[Access]:
                 partial.reposition_count += 1
 
 
-@dataclass
+@dataclass(slots=True)
 class _PartialAccess:
     open_record: OpenRecord
     runs: list[LogicalRun] = field(default_factory=list)

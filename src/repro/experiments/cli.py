@@ -40,6 +40,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=1991, help="random seed (default 1991)"
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for trace generation and cluster replay "
+        "(0 = one per CPU core; default 1, serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="rebuild everything; do not read or write the artifact cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="artifact cache directory (default $REPRO_CACHE_DIR or "
+        "~/.cache/repro)",
+    )
+    parser.add_argument(
         "--report",
         metavar="FILE",
         help="write a full reproduction report (all experiments plus the "
@@ -54,8 +72,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    context = ExperimentContext(scale=args.scale, seed=args.seed)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.workers < 0:
+        parser.error(f"--workers must be >= 0, got {args.workers}")
+    if args.no_cache:
+        cache: bool | str = False
+    else:
+        cache = args.cache_dir if args.cache_dir else True
+    context = ExperimentContext(
+        scale=args.scale, seed=args.seed, workers=args.workers, cache=cache
+    )
     if args.figures_dir:
         from repro.experiments.report import export_figure_data
 

@@ -1,13 +1,16 @@
 """The experiment registry and shared context.
 
 A :class:`ExperimentContext` owns the expensive inputs -- the eight
-synthetic traces and the cluster replays -- and builds them lazily, so
-running several experiments in one process (the bench suite, the
-quickstart) generates each input once.
+synthetic traces and the cluster replays -- and builds them lazily
+through :mod:`repro.pipeline`, so running several experiments in one
+process (the bench suite, the quickstart) generates each input once,
+repeat runs load it from the artifact cache, and multi-core machines
+fan the generation out across worker processes.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -49,9 +52,18 @@ from repro.consistency.actions import render_table10
 from repro.consistency.polling import render_table11
 from repro.consistency.schemes import render_table12
 from repro.experiments.expectations import PAPER_EXPECTATIONS
-from repro.fs import ClusterConfig, run_cluster_on_trace
+from repro.fs import ClusterConfig
 from repro.fs.cluster import ClusterResult
-from repro.workload import SyntheticTrace, generate_standard_traces
+from repro.pipeline import (
+    ArtifactCache,
+    PipelineReport,
+    build_accesses,
+    build_cluster_results,
+    build_traces,
+    resolve_cache,
+)
+from repro.pipeline.runner import trace_tasks
+from repro.workload import SyntheticTrace
 
 
 @dataclass
@@ -77,6 +89,15 @@ class ExperimentContext:
     ``scale`` shrinks the user population (and the simulated client
     count for the Section 5 experiments) so the full suite runs in
     seconds at 0.05 and in minutes at 0.25+.
+
+    ``workers`` fans trace generation, access assembly, and cluster
+    replays out across that many worker processes (0 = one per core,
+    1 = serial).  Output is identical regardless of worker count.
+
+    ``cache`` controls the content-addressed artifact cache: ``True``
+    uses ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``), ``False``
+    disables caching, a path selects a directory, and an
+    :class:`~repro.pipeline.ArtifactCache` is used as-is.
     """
 
     scale: float = 0.1
@@ -86,6 +107,11 @@ class ExperimentContext:
     #: default picks the non-simulation-dominated traces.
     cluster_trace_indexes: tuple[int, ...] = (0, 5, 6)
     cluster_config: ClusterConfig | None = None
+    workers: int = 1
+    cache: ArtifactCache | bool | str | os.PathLike | None = True
+    pipeline_report: PipelineReport = field(
+        default_factory=PipelineReport, repr=False, compare=False
+    )
     _traces: list[SyntheticTrace] | None = field(default=None, repr=False)
     _cluster_results: list[ClusterResult] | None = field(default=None, repr=False)
     _accesses: list | None = field(default=None, repr=False)
@@ -93,26 +119,38 @@ class ExperimentContext:
     def __post_init__(self) -> None:
         if self.scale <= 0:
             raise ConfigError(f"scale must be positive, got {self.scale}")
+        self._artifact_cache = resolve_cache(self.cache)
 
     @property
     def client_count(self) -> int:
         """Clients shrink with scale so per-client load stays realistic."""
         return max(4, round(40 * self.scale))
 
+    def _trace_tasks(self):
+        return trace_tasks(self.scale, self.seed, self.client_count)
+
     def traces(self) -> list[SyntheticTrace]:
         if self._traces is None:
-            self._traces = generate_standard_traces(
-                scale=self.scale, seed=self.seed, client_count=self.client_count
+            self._traces = build_traces(
+                self.scale,
+                self.seed,
+                self.client_count,
+                workers=self.workers,
+                cache=self._artifact_cache,
+                report=self.pipeline_report,
             )
         return self._traces
 
     def accesses(self):
         """All completed accesses, pooled across the eight traces."""
         if self._accesses is None:
-            pooled = []
-            for trace in self.traces():
-                pooled.extend(assemble_accesses(trace.records))
-            self._accesses = pooled
+            self._accesses = build_accesses(
+                self.traces(),
+                self._trace_tasks(),
+                workers=self.workers,
+                cache=self._artifact_cache,
+                report=self.pipeline_report,
+            )
         return self._accesses
 
     def cluster_results(self) -> list[ClusterResult]:
@@ -120,18 +158,16 @@ class ExperimentContext:
             config = self.cluster_config or ClusterConfig(
                 client_count=self.client_count
             )
-            results = []
-            for offset, index in enumerate(self.cluster_trace_indexes):
-                trace = self.traces()[index]
-                results.append(
-                    run_cluster_on_trace(
-                        trace.records,
-                        trace.duration,
-                        config,
-                        seed=self.seed + 101 * offset,
-                    )
-                )
-            self._cluster_results = results
+            self._cluster_results = build_cluster_results(
+                self.traces(),
+                self._trace_tasks(),
+                self.cluster_trace_indexes,
+                config,
+                self.seed,
+                workers=self.workers,
+                cache=self._artifact_cache,
+                report=self.pipeline_report,
+            )
         return self._cluster_results
 
 

@@ -74,6 +74,13 @@ class BlockCache:
         #: LRU order: oldest first.
         self._blocks: OrderedDict[BlockKey, CacheBlock] = OrderedDict()
         self._dirty: dict[BlockKey, CacheBlock] = {}
+        #: ``_dirty`` is insertion-ordered, and blocks are inserted with
+        #: the (monotonic) simulated clock, so iteration order is also
+        #: ``dirty_since`` order and age queries can stop early.  The
+        #: newest stamp detects a non-monotonic caller, which drops the
+        #: invariant and falls back to the full scan.
+        self._newest_dirty_since = float("-inf")
+        self._dirty_in_order = True
         #: Per-file index so deletes/recalls don't scan the whole cache.
         self._by_file: dict[int, set[BlockKey]] = {}
 
@@ -115,8 +122,20 @@ class BlockCache:
         return list(self._dirty.values())
 
     def dirty_blocks_older_than(self, cutoff: float) -> list[CacheBlock]:
-        """Dirty blocks whose data became dirty at or before ``cutoff``."""
-        return [b for b in self._dirty.values() if b.dirty_since <= cutoff]
+        """Dirty blocks whose data became dirty at or before ``cutoff``.
+
+        The writeback daemon calls this every simulated 5 seconds; with
+        the ordering invariant it pays for the old blocks it returns,
+        not for every dirty block in the cache.
+        """
+        if not self._dirty_in_order:
+            return [b for b in self._dirty.values() if b.dirty_since <= cutoff]
+        out: list[CacheBlock] = []
+        for block in self._dirty.values():
+            if block.dirty_since > cutoff:
+                break
+            out.append(block)
+        return out
 
     def lru_block(self) -> CacheBlock | None:
         """The least recently used block, or None if empty."""
@@ -155,6 +174,10 @@ class BlockCache:
             block.dirty = True
             block.dirty_since = now
             self._dirty[key] = block
+            if now >= self._newest_dirty_since:
+                self._newest_dirty_since = now
+            else:
+                self._dirty_in_order = False
         block.last_referenced = now
         block.migrated = block.migrated or migrated
         self._blocks.move_to_end(key)
@@ -166,13 +189,18 @@ class BlockCache:
             raise CacheError(f"clean of non-dirty block {key}")
         block.dirty = False
         block.dirty_since = -1.0
+        if not self._dirty:
+            self._dirty_in_order = True
+            self._newest_dirty_since = float("-inf")
 
     def remove(self, key: BlockKey) -> CacheBlock:
         """Remove a block outright (eviction or invalidation)."""
         block = self._blocks.pop(key, None)
         if block is None:
             raise CacheError(f"remove of non-resident block {key}")
-        self._dirty.pop(key, None)
+        if self._dirty.pop(key, None) is not None and not self._dirty:
+            self._dirty_in_order = True
+            self._newest_dirty_since = float("-inf")
         keys = self._by_file.get(key[0])
         if keys is not None:
             keys.discard(key)

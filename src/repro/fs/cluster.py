@@ -57,7 +57,7 @@ class ClusterResult:
         return out
 
 
-@dataclass
+@dataclass(slots=True)
 class _OpenState:
     client_id: int
     file_id: int

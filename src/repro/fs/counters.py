@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 
 
-@dataclass
+@dataclass(slots=True)
 class ClientCounters:
     """Cumulative counters for one client kernel."""
 
@@ -132,7 +132,7 @@ class ClientCounters:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class ServerCounters:
     """Cumulative counters for the file server."""
 
@@ -161,7 +161,7 @@ class ServerCounters:
         return clone
 
 
-@dataclass
+@dataclass(slots=True)
 class CounterSnapshot:
     """One timestamped reading of a client's counters."""
 

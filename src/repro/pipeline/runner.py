@@ -1,0 +1,227 @@
+"""Stage execution: cache probe, process-pool fan-out, timing report.
+
+A stage is a list of independent tasks.  :func:`run_stage` first probes
+the artifact cache for each task, then runs the misses -- serially for
+``workers<=1``, otherwise on a :class:`~concurrent.futures.ProcessPoolExecutor`
+-- and finally stores the fresh artifacts back.  Results always come
+back in task order, so a parallel stage is indistinguishable from a
+serial one.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from time import perf_counter
+from typing import Any, Sequence
+
+from repro.fs.cluster import ClusterResult
+from repro.fs.config import ClusterConfig
+from repro.pipeline.cache import ArtifactCache
+from repro.pipeline.tasks import AccessTask, ReplayTask, TraceTask, run_task
+from repro.workload.generator import SyntheticTrace
+from repro.workload.profiles import STANDARD_PROFILES, TraceProfile
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize the ``workers=`` knob: None/1 serial, 0 one per core."""
+    if workers is None:
+        return 1
+    if workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+@dataclass
+class StageTiming:
+    """One stage's entry in the pipeline report."""
+
+    stage: str
+    seconds: float
+    workers: int
+    tasks: int
+    cache_hits: int
+    cache_misses: int
+
+
+@dataclass
+class PipelineReport:
+    """Per-stage wall time and cache traffic for one context's builds."""
+
+    stages: list[StageTiming] = field(default_factory=list)
+
+    def record(self, timing: StageTiming) -> None:
+        self.stages.append(timing)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(s.seconds for s in self.stages)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(s.cache_hits for s in self.stages)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(s.cache_misses for s in self.stages)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "stages": [asdict(s) for s in self.stages],
+            "totals": {
+                "seconds": self.total_seconds,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+            },
+        }
+
+
+def run_stage(
+    stage: str,
+    tasks: Sequence,
+    *,
+    workers: int | None = 1,
+    cache: ArtifactCache | None = None,
+    report: PipelineReport | None = None,
+) -> list:
+    """Run one stage of independent tasks; results in task order."""
+    start = perf_counter()
+    results: list[Any] = [None] * len(tasks)
+    keys: list[str | None] = [None] * len(tasks)
+    misses: list[int] = []
+    hits = 0
+    for index, task in enumerate(tasks):
+        if cache is not None:
+            keys[index] = cache.key_for(task.key_fields())
+            artifact = cache.load(keys[index], task.codec_context())
+            if artifact is not None:
+                results[index] = artifact
+                hits += 1
+                continue
+        misses.append(index)
+
+    pool_size = min(resolve_workers(workers), len(misses))
+    if misses:
+        if pool_size <= 1:
+            pool_size = 1
+            for index in misses:
+                results[index] = tasks[index].run()
+        else:
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                futures = {
+                    index: pool.submit(run_task, tasks[index])
+                    for index in misses
+                }
+                for index in misses:
+                    results[index] = futures[index].result()
+        if cache is not None:
+            for index in misses:
+                cache.store(keys[index], results[index], tasks[index].codec_context())
+
+    if report is not None:
+        report.record(
+            StageTiming(
+                stage=stage,
+                seconds=perf_counter() - start,
+                workers=pool_size if misses else 0,
+                tasks=len(tasks),
+                cache_hits=hits,
+                cache_misses=len(misses),
+            )
+        )
+    return results
+
+
+# --------------------------------------------------------------------------
+# the three stages
+# --------------------------------------------------------------------------
+
+
+def trace_tasks(
+    scale: float,
+    seed: int,
+    client_count: int,
+    profiles: Sequence[TraceProfile] = STANDARD_PROFILES,
+) -> list[TraceTask]:
+    """The study's trace set as task specs (seed + index per trace,
+    matching :func:`repro.workload.generate_standard_traces`)."""
+    return [
+        TraceTask(
+            profile=profile,
+            seed=seed + index,
+            scale=scale,
+            client_count=client_count,
+        )
+        for index, profile in enumerate(profiles)
+    ]
+
+
+def build_traces(
+    scale: float,
+    seed: int,
+    client_count: int,
+    profiles: Sequence[TraceProfile] = STANDARD_PROFILES,
+    *,
+    workers: int | None = 1,
+    cache: ArtifactCache | None = None,
+    report: PipelineReport | None = None,
+) -> list[SyntheticTrace]:
+    """Generate (or load) the eight synthetic day traces."""
+    tasks = trace_tasks(scale, seed, client_count, profiles)
+    return run_stage("traces", tasks, workers=workers, cache=cache, report=report)
+
+
+def build_accesses(
+    traces: Sequence[SyntheticTrace],
+    tasks: Sequence[TraceTask],
+    *,
+    workers: int | None = 1,
+    cache: ArtifactCache | None = None,
+    report: PipelineReport | None = None,
+) -> list:
+    """Assemble per-trace access lists in workers, pooled in trace order."""
+    access_tasks = [
+        AccessTask(trace_fields=task.key_fields(), records=trace.records)
+        for task, trace in zip(tasks, traces)
+    ]
+    per_trace = run_stage(
+        "accesses", access_tasks, workers=workers, cache=cache, report=report
+    )
+    pooled: list = []
+    for accesses in per_trace:
+        pooled.extend(accesses)
+    return pooled
+
+
+def build_cluster_results(
+    traces: Sequence[SyntheticTrace],
+    tasks: Sequence[TraceTask],
+    indexes: Sequence[int],
+    config: ClusterConfig,
+    seed: int,
+    *,
+    workers: int | None = 1,
+    cache: ArtifactCache | None = None,
+    report: PipelineReport | None = None,
+) -> list[ClusterResult]:
+    """Replay the selected traces through the cluster, one per worker.
+
+    Replay seeds follow the registry's historical scheme
+    (``seed + 101 * offset``) so results match the serial code exactly.
+    """
+    replay_tasks = [
+        ReplayTask(
+            trace_fields=tasks[index].key_fields(),
+            records=traces[index].records,
+            duration=traces[index].duration,
+            config=config,
+            seed=seed + 101 * offset,
+        )
+        for offset, index in enumerate(indexes)
+    ]
+    return run_stage(
+        "replays", replay_tasks, workers=workers, cache=cache, report=report
+    )

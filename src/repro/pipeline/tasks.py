@@ -1,0 +1,111 @@
+"""Picklable task specs for the pipeline stages.
+
+A task carries everything a worker process needs to produce one
+artifact, plus the fields that address that artifact in the cache.
+Seeds are baked into the spec (one per trace, one per replay), so the
+same task produces the same artifact no matter which process runs it,
+in what order, or alongside what else -- parallel output is identical
+to serial output by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.fs.cluster import ClusterResult, run_cluster_on_trace
+from repro.fs.config import ClusterConfig
+from repro.trace.records import TraceRecord
+from repro.workload.generator import SyntheticTrace, generate_trace
+from repro.workload.profiles import TraceProfile
+
+
+@dataclass
+class TraceTask:
+    """Generate one synthetic day trace."""
+
+    profile: TraceProfile
+    seed: int
+    scale: float
+    client_count: int
+
+    def key_fields(self) -> dict[str, Any]:
+        # The full profile goes into the key, so recalibrating a knob
+        # invalidates exactly the traces it affects.
+        return {
+            "kind": "trace",
+            "profile": self.profile,
+            "seed": self.seed,
+            "scale": self.scale,
+            "client_count": self.client_count,
+        }
+
+    def run(self) -> SyntheticTrace:
+        return generate_trace(
+            self.profile,
+            seed=self.seed,
+            scale=self.scale,
+            client_count=self.client_count,
+        )
+
+    def codec_context(self) -> dict[str, Any] | None:
+        return None
+
+
+@dataclass
+class AccessTask:
+    """Assemble one trace's completed accesses (open..close episodes).
+
+    ``trace_fields`` is the owning :class:`TraceTask`'s key fields; the
+    records ride along for execution but stay out of the cache key (the
+    trace is a pure function of its fields).
+    """
+
+    trace_fields: dict[str, Any]
+    records: Sequence[TraceRecord]
+
+    def key_fields(self) -> dict[str, Any]:
+        return {"kind": "accesses", "trace": self.trace_fields}
+
+    def run(self) -> list:
+        from repro.analysis.episodes import assemble_accesses
+
+        return list(assemble_accesses(self.records))
+
+    def codec_context(self) -> dict[str, Any] | None:
+        # Lets the codec store accesses as indexes into the trace's
+        # records, shared on decode with the already-loaded trace.
+        return {"records": self.records}
+
+
+@dataclass
+class ReplayTask:
+    """Replay one trace through a simulated cluster."""
+
+    trace_fields: dict[str, Any]
+    records: Sequence[TraceRecord]
+    duration: float
+    config: ClusterConfig
+    seed: int
+
+    def key_fields(self) -> dict[str, Any]:
+        return {
+            "kind": "replay",
+            "trace": self.trace_fields,
+            "duration": self.duration,
+            "config": self.config,
+            "seed": self.seed,
+        }
+
+    def run(self) -> ClusterResult:
+        return run_cluster_on_trace(
+            self.records, self.duration, self.config, seed=self.seed
+        )
+
+    def codec_context(self) -> dict[str, Any] | None:
+        return None
+
+
+def run_task(task) -> Any:
+    """Top-level entry point for worker processes (must be picklable)."""
+    return task.run()

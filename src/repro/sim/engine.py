@@ -2,6 +2,14 @@
 
 Events scheduled at the same timestamp fire in scheduling order (FIFO),
 which keeps runs deterministic regardless of heap tie-breaking.
+
+Cancellation is lazy: a cancelled event stays in the heap (marked) and
+is discarded when it reaches the top, so ``cancel``, ``pending``, and
+``advance_to`` are all O(1) apart from amortized heap maintenance.  A
+live-event counter replaces the old full-heap scans, and the heap is
+compacted when cancelled entries come to dominate it, so a workload
+that schedules and cancels millions of timers (every open schedules a
+writeback, most are cancelled by the close) stays linear.
 """
 
 from __future__ import annotations
@@ -15,26 +23,39 @@ from repro.common.errors import SchedulingError
 
 Callback = Callable[[], None]
 
+#: Compact the heap when it holds more than this many cancelled entries
+#: *and* they outnumber the live ones (amortized O(1) per cancel).
+_COMPACT_MIN_STALE = 64
 
-@dataclass(order=True)
+
+@dataclass(order=True, slots=True)
 class _ScheduledEvent:
     time: float
     sequence: int
     callback: Callback = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: True once the event has left the heap (fired or discarded); a
+    #: cancel after that point must not touch the live count.
+    done: bool = field(default=False, compare=False)
 
 
 class EventHandle:
     """Returned by :meth:`Engine.schedule`; lets the creator cancel."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_engine")
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, event: _ScheduledEvent, engine: "Engine") -> None:
         self._event = event
+        self._engine = engine
 
     def cancel(self) -> None:
-        """Prevent the event from firing.  Idempotent."""
-        self._event.cancelled = True
+        """Prevent the event from firing.  Idempotent; a no-op once the
+        event has already fired."""
+        event = self._event
+        if event.cancelled or event.done:
+            return
+        event.cancelled = True
+        self._engine._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -53,6 +74,8 @@ class Engine:
         self._heap: list[_ScheduledEvent] = []
         self._sequence = itertools.count()
         self._events_run = 0
+        self._live = 0  # scheduled, not yet fired, not cancelled
+        self._stale = 0  # cancelled events still sitting in the heap
 
     @property
     def now(self) -> float:
@@ -61,8 +84,8 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of not-yet-fired, not-cancelled events.  O(1)."""
+        return self._live
 
     @property
     def events_run(self) -> int:
@@ -79,13 +102,47 @@ class Engine:
             time=time, sequence=next(self._sequence), callback=callback
         )
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        self._live += 1
+        return EventHandle(event, self)
 
     def schedule_after(self, delay: float, callback: Callback) -> EventHandle:
         """Schedule ``callback`` ``delay`` seconds from now."""
         if delay < 0:
             raise SchedulingError(f"negative delay: {delay}")
         return self.schedule_at(self._now + delay, callback)
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping for a cancel; compacts when stale entries dominate."""
+        self._live -= 1
+        self._stale += 1
+        if self._stale > _COMPACT_MIN_STALE and self._stale > self._live:
+            survivors = []
+            for event in self._heap:
+                if event.cancelled:
+                    event.done = True
+                else:
+                    survivors.append(event)
+            self._heap = survivors
+            heapq.heapify(self._heap)
+            self._stale = 0
+
+    def _pop_next(self) -> _ScheduledEvent | None:
+        """Pop the next live event, discarding cancelled ones."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            event.done = True
+            if event.cancelled:
+                self._stale -= 1
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def _purge_cancelled_top(self) -> None:
+        """Drop cancelled events sitting at the top of the heap."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap).done = True
+            self._stale -= 1
 
     def run_until(self, end_time: float) -> None:
         """Fire all events with time <= ``end_time``, then advance the
@@ -94,10 +151,13 @@ class Engine:
             raise SchedulingError(
                 f"cannot run until {end_time}; the clock is already at {self._now}"
             )
-        while self._heap and self._heap[0].time <= end_time:
+        while True:
+            self._purge_cancelled_top()
+            if not self._heap or self._heap[0].time > end_time:
+                break
             event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
+            event.done = True
+            self._live -= 1
             self._now = event.time
             self._events_run += 1
             event.callback()
@@ -106,10 +166,10 @@ class Engine:
     def run_all(self, max_events: int = 10_000_000) -> None:
         """Fire every pending event; guard against runaway self-scheduling."""
         fired = 0
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
+        while True:
+            event = self._pop_next()
+            if event is None:
+                break
             self._now = event.time
             self._events_run += 1
             event.callback()
@@ -126,13 +186,12 @@ class Engine:
             raise SchedulingError(
                 f"cannot move the clock backwards from {self._now} to {time}"
             )
-        if self._heap and not all(e.cancelled for e in self._heap):
-            next_time = min(e.time for e in self._heap if not e.cancelled)
-            if next_time < time:
-                raise SchedulingError(
-                    f"advance_to({time}) would skip an event at {next_time}; "
-                    "use run_until instead"
-                )
+        self._purge_cancelled_top()
+        if self._heap and self._heap[0].time < time:
+            raise SchedulingError(
+                f"advance_to({time}) would skip an event at "
+                f"{self._heap[0].time}; use run_until instead"
+            )
         self._now = time
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

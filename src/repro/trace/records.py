@@ -32,7 +32,7 @@ class AccessMode(enum.Enum):
     READ_WRITE = "read_write"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """Base class: every record has a timestamp (seconds from trace start)
     and the server that logged it."""
@@ -45,8 +45,15 @@ class TraceRecord:
     kind: ClassVar[str] = "base"
 
     def __init_subclass__(cls, **kwargs: Any) -> None:
-        super().__init_subclass__(**kwargs)
-        if cls.kind in TraceRecord._registry:
+        # No zero-arg super() here: ``slots=True`` rebuilds TraceRecord,
+        # which would leave this method's ``__class__`` cell pointing at
+        # the discarded original.
+        # ``@dataclass(slots=True)`` rebuilds the class, so every record
+        # class registers twice under the same kind; the final (slotted)
+        # class wins.  A *different* class reusing a kind is still an
+        # error.
+        existing = TraceRecord._registry.get(cls.kind)
+        if existing is not None and existing.__qualname__ != cls.__qualname__:
             raise TraceError(f"duplicate trace record kind {cls.kind!r}")
         TraceRecord._registry[cls.kind] = cls
 
@@ -79,7 +86,7 @@ class TraceRecord:
             raise TraceError(f"bad fields for {kind!r} record: {exc}") from exc
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpenRecord(TraceRecord):
     """A file open.  ``open_id`` ties together the whole open..close
     episode; ``migrated`` marks activity performed by a migrated process
@@ -97,7 +104,7 @@ class OpenRecord(TraceRecord):
     migrated: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CloseRecord(TraceRecord):
     """A file close, with the totals the server knew at close time."""
 
@@ -113,7 +120,7 @@ class CloseRecord(TraceRecord):
     migrated: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadRunRecord(TraceRecord):
     """One sequential read run within an open episode.
 
@@ -133,7 +140,7 @@ class ReadRunRecord(TraceRecord):
     migrated: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteRunRecord(TraceRecord):
     """One sequential write run within an open episode."""
 
@@ -148,7 +155,7 @@ class WriteRunRecord(TraceRecord):
     migrated: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RepositionRecord(TraceRecord):
     """An ``lseek`` that moved the file offset (random access marker)."""
 
@@ -163,7 +170,7 @@ class RepositionRecord(TraceRecord):
     migrated: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CreateRecord(TraceRecord):
     """A file creation (new name in the hierarchy)."""
 
@@ -174,7 +181,7 @@ class CreateRecord(TraceRecord):
     client_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeleteRecord(TraceRecord):
     """A file or directory removal.
 
@@ -194,7 +201,7 @@ class DeleteRecord(TraceRecord):
     newest_byte_time: float = -1.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TruncateRecord(TraceRecord):
     """A truncate-to-zero; the lifetime analysis treats it as a delete."""
 
@@ -208,7 +215,7 @@ class TruncateRecord(TraceRecord):
     newest_byte_time: float = -1.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SharedReadRecord(TraceRecord):
     """A single read request on a file undergoing concurrent
     write-sharing.  While a file is uncacheable every request passes
@@ -225,7 +232,7 @@ class SharedReadRecord(TraceRecord):
     migrated: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SharedWriteRecord(TraceRecord):
     """A single write request on a file undergoing write-sharing."""
 
@@ -239,7 +246,7 @@ class SharedWriteRecord(TraceRecord):
     migrated: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DirectoryReadRecord(TraceRecord):
     """A user-level directory read (e.g. listing a directory); Sprite does
     not cache directories on clients, so these always reach the server."""

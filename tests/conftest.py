@@ -15,6 +15,21 @@ from repro.fs import ClusterConfig, run_cluster_on_trace
 from repro.workload import STANDARD_PROFILES, generate_trace
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_artifact_cache(tmp_path_factory):
+    """Point the artifact cache at a per-session temp directory.
+
+    Tests must neither read a developer's warm ``~/.cache/repro`` (a
+    stale hit would mask a regression) nor pollute it.
+    """
+    monkeypatch = pytest.MonkeyPatch()
+    monkeypatch.setenv(
+        "REPRO_CACHE_DIR", str(tmp_path_factory.mktemp("artifact-cache"))
+    )
+    yield
+    monkeypatch.undo()
+
+
 @pytest.fixture()
 def rng() -> RngStream:
     return RngStream.root(12345)

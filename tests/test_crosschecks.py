@@ -1,6 +1,7 @@
 """Cross-component invariants: independent parts of the system must
 agree about the same quantities."""
 
+from dataclasses import fields
 import pytest
 
 from repro.consistency import compute_actions
@@ -13,7 +14,8 @@ from repro.workload import STANDARD_PROFILES, generate_trace
 def aggregate(result) -> ClientCounters:
     total = ClientCounters()
     for counters in result.final_counters.values():
-        for name in vars(counters):
+        for field in fields(counters):
+            name = field.name
             setattr(total, name, getattr(total, name) + getattr(counters, name))
     return total
 

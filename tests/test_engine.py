@@ -1,5 +1,7 @@
 """Unit tests for the discrete-event engine and timers."""
 
+import time
+
 import pytest
 
 from repro.common.errors import SchedulingError
@@ -198,3 +200,74 @@ class TestRecurringTimer:
         timer.start()
         engine.run_until(5.0)
         assert fired == [1.0]
+
+
+class TestCancellationScaling:
+    """The schedule-then-cancel workload the cluster generates by the
+    tens of thousands (every open schedules a writeback; most closes
+    cancel it) must stay linear: pending is a counter, cancel is a
+    flag flip, and cancelled events are purged lazily."""
+
+    def test_10k_schedule_and_cancel_fast_and_correct(self):
+        engine = Engine()
+        handles = [
+            engine.schedule_at(float(i), lambda: None) for i in range(10_000)
+        ]
+        counts = []
+        start = time.perf_counter()
+        for handle in handles:
+            counts.append(engine.pending)
+            handle.cancel()
+        elapsed = time.perf_counter() - start
+        assert counts == list(range(10_000, 0, -1))
+        assert engine.pending == 0
+        # The old implementation scanned the heap per pending call
+        # (~50M comparisons here); the counter version is instant.
+        assert elapsed < 1.0
+        engine.run_all()
+        assert engine.events_run == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        engine = Engine()
+        handle = engine.schedule_at(1.0, lambda: None)
+        engine.run_until(2.0)
+        assert engine.pending == 0
+        handle.cancel()  # already fired: must not corrupt the count
+        assert engine.pending == 0
+        engine.schedule_at(3.0, lambda: None)
+        handle.cancel()
+        assert engine.pending == 1
+
+    def test_heap_compacts_under_mass_cancellation(self):
+        engine = Engine()
+        handles = [
+            engine.schedule_at(float(i), lambda: None) for i in range(10_000)
+        ]
+        for handle in handles[:-1]:
+            handle.cancel()
+        assert engine.pending == 1
+        assert len(engine._heap) < 10_000  # stale entries were dropped
+        engine.run_all()
+        assert engine.events_run == 1
+
+    def test_advance_to_skips_cancelled_events(self):
+        engine = Engine()
+        doomed = engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(10.0, lambda: None)
+        doomed.cancel()
+        engine.advance_to(5.0)  # fine: the 1.0 event is cancelled
+        assert engine.now == 5.0
+        with pytest.raises(SchedulingError):
+            engine.advance_to(11.0)  # would skip the live 10.0 event
+
+    def test_run_until_with_cancelled_head_stops_at_end_time(self):
+        engine = Engine()
+        fired = []
+        doomed = engine.schedule_at(1.0, lambda: fired.append("doomed"))
+        engine.schedule_at(10.0, lambda: fired.append("late"))
+        doomed.cancel()
+        engine.run_until(5.0)  # must not fire the 10.0 event early
+        assert fired == []
+        assert engine.pending == 1
+        engine.run_until(10.0)
+        assert fired == ["late"]

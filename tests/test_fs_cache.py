@@ -91,6 +91,50 @@ class TestBlockCache:
         old = cache.dirty_blocks_older_than(30.0)
         assert [b.key for b in old] == [(1, 0)]
 
+    def test_dirty_age_query_after_clean_and_redirty(self, cache):
+        """The early-exit scan stays correct as blocks leave and re-enter
+        the dirty set (re-dirtied blocks re-stamp at the tail)."""
+        for index in range(4):
+            cache.insert((1, index), now=0.0)
+            cache.mark_dirty((1, index), now=float(index))
+        cache.mark_clean((1, 1))
+        cache.mark_dirty((1, 1), now=10.0)  # back, with a newer stamp
+        old = cache.dirty_blocks_older_than(2.5)
+        assert [b.key for b in old] == [(1, 0), (1, 2)]
+        assert [b.key for b in cache.dirty_blocks_older_than(100.0)] == [
+            (1, 0),
+            (1, 2),
+            (1, 3),
+            (1, 1),
+        ]
+
+    def test_dirty_age_query_with_nonmonotonic_stamps(self, cache):
+        """A caller stamping out of order loses the early exit but not
+        correctness (full-scan fallback)."""
+        cache.insert((1, 0), now=0.0)
+        cache.insert((1, 1), now=0.0)
+        cache.insert((1, 2), now=0.0)
+        cache.mark_dirty((1, 0), now=20.0)
+        cache.mark_dirty((1, 1), now=5.0)  # out of order
+        cache.mark_dirty((1, 2), now=30.0)
+        assert {b.key for b in cache.dirty_blocks_older_than(10.0)} == {(1, 1)}
+        assert {b.key for b in cache.dirty_blocks_older_than(25.0)} == {
+            (1, 0),
+            (1, 1),
+        }
+
+    def test_dirty_order_invariant_resets_when_empty(self, cache):
+        cache.insert((1, 0), now=0.0)
+        cache.insert((1, 1), now=0.0)
+        cache.mark_dirty((1, 0), now=20.0)
+        cache.mark_dirty((1, 1), now=5.0)  # breaks the order invariant
+        assert not cache._dirty_in_order
+        cache.mark_clean((1, 0))
+        cache.mark_clean((1, 1))
+        assert cache._dirty_in_order  # empty set restores it
+        cache.mark_dirty((1, 1), now=1.0)
+        assert cache._dirty_in_order
+
     def test_blocks_of_file_uses_index(self, cache):
         cache.insert((1, 0), now=0.0)
         cache.insert((1, 5), now=0.0)

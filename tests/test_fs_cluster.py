@@ -1,5 +1,6 @@
 """Integration tests: replaying traces through the cluster simulator."""
 
+from dataclasses import fields
 import pytest
 
 from repro.caching import (
@@ -19,7 +20,8 @@ from repro.fs.counters import ClientCounters
 def aggregate(result):
     total = ClientCounters()
     for counters in result.final_counters.values():
-        for name in vars(counters):
+        for field in fields(counters):
+            name = field.name
             setattr(total, name, getattr(total, name) + getattr(counters, name))
     return total
 

@@ -1,0 +1,51 @@
+"""Parallel and cached builds must be indistinguishable from serial.
+
+The pipeline's whole contract is that ``workers=N`` and a warm cache
+are pure performance knobs: every Table 1-12 metric comes out *exactly*
+equal (float-for-float, not approximately) no matter how the inputs
+were built.  Seeds are baked into the task specs and worker results are
+collected in submission order, so this is equality by construction --
+this test is the proof.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENT_IDS, ExperimentContext, run_experiment
+
+SCALE = 0.05
+SEED = 1991
+
+
+def _all_metrics(context: ExperimentContext) -> dict[str, dict[str, float]]:
+    return {
+        experiment_id: run_experiment(experiment_id, context).metrics
+        for experiment_id in EXPERIMENT_IDS
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_metrics(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("determinism-cache")
+    context = ExperimentContext(scale=SCALE, seed=SEED, workers=1, cache=cache_dir)
+    metrics = _all_metrics(context)
+    assert context._artifact_cache.stats.hits == 0  # genuinely cold
+    return cache_dir, metrics
+
+
+def test_parallel_build_is_byte_identical(serial_metrics):
+    """workers=4 (cold, no cache) reproduces the serial metrics exactly."""
+    _, expected = serial_metrics
+    parallel = ExperimentContext(scale=SCALE, seed=SEED, workers=4, cache=False)
+    assert _all_metrics(parallel) == expected
+
+
+def test_warm_cache_build_is_byte_identical(serial_metrics):
+    """A warm-cache rebuild reproduces the serial metrics exactly."""
+    cache_dir, expected = serial_metrics
+    warm = ExperimentContext(scale=SCALE, seed=SEED, workers=1, cache=cache_dir)
+    metrics = _all_metrics(warm)
+    stats = warm._artifact_cache.stats
+    assert stats.misses == 0 and stats.hits > 0  # served entirely from cache
+    assert metrics == expected

@@ -1,0 +1,160 @@
+"""Pipeline smoke tests: cache round-trips, corruption, key hygiene.
+
+These run at a tiny scale so the whole module stays in the tier-1
+budget; the full-scale determinism crosscheck lives in
+``test_pipeline_determinism.py``.
+"""
+
+from __future__ import annotations
+
+
+import pytest
+
+from repro.experiments import ExperimentContext
+from repro.pipeline import (
+    ArtifactCache,
+    build_traces,
+    resolve_cache,
+    resolve_workers,
+    trace_tasks,
+)
+
+SCALE = 0.02
+
+
+def test_cold_then_warm_round_trip(tmp_path):
+    """A warm context rebuilds the exact artifacts the cold one stored."""
+    cold = ExperimentContext(scale=SCALE, seed=7, cache=tmp_path)
+    cold_traces = cold.traces()
+    cold_accesses = cold.accesses()
+    cold_results = cold.cluster_results()
+    assert cold._artifact_cache.stats.hits == 0
+    assert cold._artifact_cache.stats.stores == cold._artifact_cache.stats.misses > 0
+
+    warm = ExperimentContext(scale=SCALE, seed=7, cache=tmp_path)
+    warm_traces = warm.traces()
+    warm_accesses = warm.accesses()
+    warm_results = warm.cluster_results()
+    stats = warm._artifact_cache.stats
+    assert stats.misses == 0 and stats.corrupt == 0
+    assert stats.hits == cold._artifact_cache.stats.stores
+
+    assert warm_traces == cold_traces
+    assert len(warm_accesses) == len(cold_accesses)
+    for a, b in zip(warm_accesses, cold_accesses):
+        assert a.open_record == b.open_record
+        assert a.close_record == b.close_record
+        assert a.runs == b.runs
+        assert a.reposition_count == b.reposition_count
+    assert len(warm_results) == len(cold_results)
+    for a, b in zip(warm_results, cold_results):
+        assert a.server_counters == b.server_counters
+        assert a.final_counters == b.final_counters
+        assert a.snapshots == b.snapshots
+        assert a.config == b.config
+        assert (a.duration, a.records_replayed) == (b.duration, b.records_replayed)
+
+
+def test_warm_accesses_alias_trace_records(tmp_path):
+    """Cached accesses share record objects with the cached traces, the
+    same aliasing the serial assembler produces."""
+    ExperimentContext(scale=SCALE, seed=7, cache=tmp_path).accesses()
+    warm = ExperimentContext(scale=SCALE, seed=7, cache=tmp_path)
+    traces = warm.traces()
+    record_ids = {id(r) for t in traces for r in t.records}
+    for access in warm.accesses():
+        assert id(access.open_record) in record_ids
+        assert id(access.close_record) in record_ids
+
+
+def test_corrupt_entries_are_misses_not_fatal(tmp_path):
+    """Truncated/garbage cache files are ignored, unlinked, and rebuilt."""
+    cold = ExperimentContext(scale=SCALE, seed=7, cache=tmp_path)
+    expected = cold.traces()
+    cache = cold._artifact_cache
+
+    entries = sorted(tmp_path.rglob("*.pkl"))
+    assert entries
+    entries[0].write_bytes(b"not an artifact at all")
+    entries[1].write_bytes(entries[1].read_bytes()[:40])  # truncated
+
+    warm = ExperimentContext(scale=SCALE, seed=7, cache=tmp_path)
+    assert warm.traces() == expected
+    stats = warm._artifact_cache.stats
+    assert stats.corrupt == 2
+    assert stats.misses == 2
+    # the corrupt entries were replaced by fresh stores
+    assert stats.stores == 2
+    again = ExperimentContext(scale=SCALE, seed=7, cache=tmp_path)
+    assert again.traces() == expected
+    assert again._artifact_cache.stats.misses == 0
+
+
+def test_unwritable_cache_is_not_fatal(tmp_path):
+    """An unusable cache root degrades to recompute, not an error."""
+    root = tmp_path / "blocked"
+    root.write_text("a file where the cache root should be")
+    ctx = ExperimentContext(scale=SCALE, seed=7, cache=root)
+    assert len(ctx.traces()) == 8
+    assert ctx._artifact_cache.stats.stores == 0
+
+
+def test_keys_stable_and_parameter_sensitive(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    tasks = trace_tasks(0.05, 1991, 4)
+    keys = [cache.key_for(t.key_fields()) for t in tasks]
+    assert keys == [cache.key_for(t.key_fields()) for t in tasks]
+    assert len(set(keys)) == len(keys)  # each trace its own entry
+    bumped = trace_tasks(0.05, 1992, 4)
+    assert all(
+        cache.key_for(b.key_fields()) != k for b, k in zip(bumped, keys)
+    )
+    scaled = trace_tasks(0.1, 1991, 4)
+    assert all(
+        cache.key_for(s.key_fields()) != k for s, k in zip(scaled, keys)
+    )
+
+
+def test_cache_knob_resolution(tmp_path):
+    assert resolve_cache(False) is None
+    assert resolve_cache(None) is None
+    assert resolve_cache(tmp_path).root == tmp_path
+    shared = ArtifactCache(tmp_path)
+    assert resolve_cache(shared) is shared
+    assert resolve_cache(True).root is not None
+
+
+def test_workers_knob_resolution():
+    assert resolve_workers(None) == 1
+    assert resolve_workers(1) == 1
+    assert resolve_workers(3) == 3
+    assert resolve_workers(0) >= 1  # one per core
+    with pytest.raises(ValueError):
+        resolve_workers(-2)
+
+
+def test_pooled_accesses_match_per_trace_order(tmp_path):
+    """The pooled access list is the per-trace lists concatenated in
+    trace order (what the serial assembler produced)."""
+    from repro.analysis.episodes import assemble_accesses
+
+    ctx = ExperimentContext(scale=SCALE, seed=7, cache=False)
+    traces = ctx.traces()
+    pooled = ctx.accesses()
+    expected = []
+    for trace in traces:
+        expected.extend(assemble_accesses(trace.records))
+    assert len(pooled) == len(expected)
+    for a, b in zip(pooled, expected):
+        assert a.open_record == b.open_record
+        assert a.close_record == b.close_record
+        assert a.runs == b.runs
+        assert a.reposition_count == b.reposition_count
+
+
+def test_build_traces_matches_generate_standard_traces(tmp_path):
+    from repro.workload import generate_standard_traces
+
+    built = build_traces(SCALE, 7, 4)
+    reference = generate_standard_traces(scale=SCALE, seed=7, client_count=4)
+    assert built == reference
