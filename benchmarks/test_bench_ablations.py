@@ -11,10 +11,10 @@ reports how the Section 5 results move:
   immediately) vs the 20-minute rule.
 """
 
-from dataclasses import fields
 from __future__ import annotations
 
-import pytest
+from dataclasses import fields
+
 
 from repro.caching import compute_cache_sizes, compute_effectiveness, machine_days
 from repro.fs import ClusterConfig, run_cluster_on_trace

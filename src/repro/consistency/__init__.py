@@ -12,12 +12,20 @@ Three analyses, all trace-driven:
   overheads of three consistency algorithms (Sprite's cache-disable
   scheme, a modified scheme that re-enables caching when sharing ends,
   and a token-based scheme) replayed over the accesses to write-shared
-  files.
+  files;
+* :mod:`repro.consistency.recovery` -- Table R, the cost of the
+  30-second delayed-write policy under injected crashes: dirty bytes
+  lost and reopen-protocol traffic as the writeback age is swept.
 """
 
 from repro.consistency.events import SharedFileActivity, extract_shared_activity
 from repro.consistency.actions import ConsistencyActionResult, compute_actions
 from repro.consistency.polling import PollingResult, simulate_polling
+from repro.consistency.recovery import (
+    RecoveryCell,
+    RecoveryStudyResult,
+    compute_recovery_study,
+)
 from repro.consistency.schemes import (
     SchemeOverhead,
     SchemeComparison,
@@ -31,6 +39,9 @@ __all__ = [
     "compute_actions",
     "PollingResult",
     "simulate_polling",
+    "RecoveryCell",
+    "RecoveryStudyResult",
+    "compute_recovery_study",
     "SchemeOverhead",
     "SchemeComparison",
     "simulate_schemes",

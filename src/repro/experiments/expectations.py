@@ -84,4 +84,12 @@ PAPER_EXPECTATIONS: dict[str, str] = {
         "scheme improves on Sprite, by ~2% of bytes and ~20% of RPCs, "
         "and it is the most sensitive to the application mix."
     ),
+    "faults": (
+        "Not measured by the paper -- Section 5.2 only notes that a "
+        "30-second delay 'means that data may be lost in a server or "
+        "workstation crash'.  Expected shape: dirty bytes lost per "
+        "crash grow with the writeback age and vanish at age 0 "
+        "(write-through), which in exchange pays the full write "
+        "traffic that Table 6 shows delayed writes avoiding."
+    ),
 }

@@ -11,7 +11,7 @@ fan the generation out across worker processes.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.analysis import (
@@ -44,6 +44,7 @@ from repro.common.errors import ConfigError
 from repro.common.units import KB, MB
 from repro.consistency import (
     compute_actions,
+    compute_recovery_study,
     extract_shared_activity,
     simulate_polling,
     simulate_schemes,
@@ -52,7 +53,7 @@ from repro.consistency.actions import render_table10
 from repro.consistency.polling import render_table11
 from repro.consistency.schemes import render_table12
 from repro.experiments.expectations import PAPER_EXPECTATIONS
-from repro.fs import ClusterConfig
+from repro.fs import ClusterConfig, FaultConfig
 from repro.fs.cluster import ClusterResult
 from repro.pipeline import (
     ArtifactCache,
@@ -62,7 +63,8 @@ from repro.pipeline import (
     build_traces,
     resolve_cache,
 )
-from repro.pipeline.runner import trace_tasks
+from repro.pipeline.runner import run_stage, trace_tasks
+from repro.pipeline.tasks import ReplayTask
 from repro.workload import SyntheticTrace
 
 
@@ -506,6 +508,86 @@ def _table12(ctx: ExperimentContext) -> ExperimentResult:
     )
 
 
+#: Writeback ages swept by the faults experiment; 0 means write-through.
+FAULT_SWEEP_AGES: tuple[float, ...] = (0.0, 5.0, 15.0, 30.0, 60.0)
+
+#: Fault load for the Table R study.  Real machines crash every few
+#: weeks; these rates (a client crash every half hour, a server crash
+#: every four hours) are deliberately absurd so a one-day replay sees
+#: hundreds of events -- the study measures loss *per crash*, and the
+#: crash count must be large enough for dirty-window hits to show.
+FAULT_STUDY_KNOBS = FaultConfig(
+    server_crash_rate=0.25,
+    server_downtime=120.0,
+    client_crash_rate=2.0,
+    client_downtime=60.0,
+    partition_rate=1.0,
+    partition_duration=60.0,
+)
+
+
+def _faults(ctx: ExperimentContext) -> ExperimentResult:
+    """Table R: sweep the writeback age under one fixed fault timeline.
+
+    Every replay shares the trace, the replay seed, and the fault knobs,
+    so the injected crash schedule is identical column to column (the
+    schedule is drawn from its own forked stream); only the delayed-
+    write policy changes.  Age 0 runs write-through -- the ablation the
+    paper's Section 5.2 reliability caveat argues against on traffic
+    grounds.
+    """
+    trace_index = ctx.cluster_trace_indexes[0]
+    trace = ctx.traces()[trace_index]
+    trace_fields = ctx._trace_tasks()[trace_index].key_fields()
+    base = ctx.cluster_config or ClusterConfig(client_count=ctx.client_count)
+
+    labels: list[str] = []
+    tasks: list[ReplayTask] = []
+    for age in FAULT_SWEEP_AGES:
+        config = replace(
+            base,
+            write_through=age == 0.0,
+            writeback_delay=age,
+            faults=FAULT_STUDY_KNOBS,
+        )
+        labels.append("0 (write-thru)" if age == 0.0 else f"{age:g} s")
+        tasks.append(
+            ReplayTask(
+                trace_fields=trace_fields,
+                records=trace.records,
+                duration=trace.duration,
+                config=config,
+                seed=ctx.seed + 4099,
+            )
+        )
+    results = run_stage(
+        "fault-replays",
+        tasks,
+        workers=ctx.workers,
+        cache=ctx._artifact_cache,
+        report=ctx.pipeline_report,
+    )
+    study = compute_recovery_study(list(zip(labels, results)))
+
+    metrics: dict[str, float] = {}
+    for age, cell in zip(FAULT_SWEEP_AGES, study.cells):
+        metrics[f"lost_kbytes_age_{age:g}"] = cell.lost_kbytes
+    sprite = study.cells[FAULT_SWEEP_AGES.index(30.0)]
+    write_through = study.cells[0]
+    metrics["reopen_rpcs_age_30"] = float(sprite.reopen_rpcs)
+    metrics["revalidate_rpcs_age_30"] = float(sprite.revalidate_rpcs)
+    metrics["stall_seconds_age_30"] = sprite.stall_seconds
+    metrics["writeback_kbytes_age_0"] = write_through.writeback_kbytes
+    metrics["writeback_kbytes_age_30"] = sprite.writeback_kbytes
+    return ExperimentResult(
+        experiment_id="faults",
+        title="Table R: crash data loss vs. writeback age",
+        rendered=study.render(),
+        metrics=metrics,
+        paper_expectation=PAPER_EXPECTATIONS["faults"],
+    )
+
+
 _REGISTRY: dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
     "table1": _table1,
     "table2": _table2,
@@ -523,6 +605,7 @@ _REGISTRY: dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
     "table10": _table10,
     "table11": _table11,
     "table12": _table12,
+    "faults": _faults,
 }
 
 EXPERIMENT_IDS: tuple[str, ...] = tuple(_REGISTRY)

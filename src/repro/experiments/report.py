@@ -75,6 +75,14 @@ def build_report(context: ExperimentContext) -> str:
         sections.append("")
 
     sections.append("=" * 72)
+    sections.append("BEYOND THE PAPER -- CRASHES AND THE DELAYED-WRITE RISK")
+    sections.append("=" * 72)
+    result = results["faults"]
+    sections.append(result.rendered)
+    sections.append(f"Paper: {result.paper_expectation}")
+    sections.append("")
+
+    sections.append("=" * 72)
     sections.append("THEN VS NOW -- AGAINST THE 1985 BSD STUDY")
     sections.append("=" * 72)
     table2 = results["table2"].metrics

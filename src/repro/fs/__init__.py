@@ -11,6 +11,14 @@ data behind Tables 4-9.
 """
 
 from repro.fs.config import ClusterConfig
+from repro.fs.faults import (
+    FaultConfig,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultSchedule,
+    SERVER_TARGET,
+)
 from repro.fs.counters import ClientCounters, CounterSnapshot, ServerCounters
 from repro.fs.cache import BlockCache, EvictionReason, CleanReason
 from repro.fs.vm import VirtualMemory
@@ -22,6 +30,12 @@ from repro.fs.latency import PagingLatencyAnalysis, analyze_paging_latency
 
 __all__ = [
     "ClusterConfig",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "SERVER_TARGET",
     "ClientCounters",
     "ServerCounters",
     "CounterSnapshot",

@@ -33,6 +33,7 @@ class CleanReason(enum.Enum):
     FSYNC = "application_fsync"
     RECALL = "server_recall"
     VM = "given_to_vm"
+    RECOVERY = "crash_recovery_replay"  # overdue writes replayed after an outage
 
 
 @dataclass
@@ -137,6 +138,10 @@ class BlockCache:
             out.append(block)
         return out
 
+    def resident_files(self) -> list[int]:
+        """Ids of every file with at least one resident block."""
+        return list(self._by_file)
+
     def lru_block(self) -> CacheBlock | None:
         """The least recently used block, or None if empty."""
         if not self._blocks:
@@ -220,6 +225,17 @@ class BlockCache:
         if block is None:
             raise CacheError("evict from an empty cache")
         return self.remove(block.key)
+
+    def clear(self) -> list[CacheBlock]:
+        """Drop every block (a client crash: the machine's memory is
+        gone).  Returns the blocks that were resident."""
+        victims = list(self._blocks.values())
+        self._blocks.clear()
+        self._dirty.clear()
+        self._by_file.clear()
+        self._dirty_in_order = True
+        self._newest_dirty_since = float("-inf")
+        return victims
 
     def invalidate_file(self, file_id: int) -> list[CacheBlock]:
         """Drop every block of a file (delete, truncate, stale data)."""

@@ -11,7 +11,16 @@ Implements the client half of Sprite's caching mechanism:
 * fsync write-through on application request;
 * consistency actions: flush stale blocks on version mismatch at open,
   honour server recalls, bypass the cache entirely for files under
-  concurrent write-sharing.
+  concurrent write-sharing;
+* fault handling: RPC retry with exponential backoff while the server
+  is crashed or the network partitioned, graceful degradation (stall or
+  fail) when the timeout expires, and Sprite's stateful recovery sweep
+  (reopen, revalidate, replay overdue writes) when the server returns.
+
+The replay is open-loop, so a "stalled" operation books its retries and
+stall time in the counters and then executes -- logically at the moment
+the server came back -- without advancing the global clock (see
+:mod:`repro.fs.faults` for the conventions).
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ from repro.common.errors import SimulationError
 from repro.fs.cache import BlockCache, CacheBlock, CleanReason
 from repro.fs.config import ClusterConfig
 from repro.fs.counters import ClientCounters
+from repro.fs.faults import retries_for_wait
 from repro.fs.server import Server
 from repro.sim.engine import Engine
 from repro.sim.timers import RecurringTimer
@@ -55,6 +65,14 @@ class ClientKernel:
         #: Pages granted by VM but not currently holding a block
         #: (freed by invalidations; the cache keeps them greedily).
         self._spare_pages = 0
+        #: Fault state.  ``epoch`` increments on every crash so the
+        #: cluster can drop closes whose opens died with the machine.
+        self.up = True
+        self.epoch = 0
+        self.partition_until = 0.0
+        #: file_id -> [read opens, write opens] held by this client;
+        #: what the reopen protocol re-registers after a server crash.
+        self._open_files: dict[int, list[int]] = {}
 
     # --- consistency hooks -------------------------------------------------------
 
@@ -76,6 +94,141 @@ class ClientKernel:
         """The server recalls this client's dirty data for a file."""
         self._clean_file(now, file_id, CleanReason.RECALL)
 
+    # --- faults and recovery -------------------------------------------------------
+
+    def reachable(self, now: float) -> bool:
+        """Can the server reach this client right now?"""
+        return self.up and now >= self.partition_until
+
+    def _unavailable_until(self, now: float) -> float:
+        """When the server becomes reachable again (== ``now`` if it
+        already is)."""
+        until = now
+        if not self.server.up:
+            until = max(until, self.server.down_until)
+        if now < self.partition_until:
+            until = max(until, self.partition_until)
+        return until
+
+    def await_server(self, now: float, data_op: bool = False) -> bool:
+        """Gate one operation on server availability.
+
+        Returns True when the operation may proceed (immediately, or
+        after a booked stall), False when a data operation gives up
+        under ``degraded_mode="fail"``.  Naming operations always
+        stall -- Sprite's opens and closes cannot be dropped.
+        """
+        until = self._unavailable_until(now)
+        if until <= now:
+            return True
+        faults = self.config.faults
+        wait = until - now
+        if wait <= faults.rpc_timeout or not data_op or faults.degraded_mode == "stall":
+            self.counters.rpc_retries += retries_for_wait(faults, wait)
+            self.counters.stall_seconds += wait
+            return True
+        self.counters.rpc_retries += retries_for_wait(faults, faults.rpc_timeout)
+        self.counters.stall_seconds += faults.rpc_timeout
+        self.counters.rpc_failed_ops += 1
+        return False
+
+    def crash(self, now: float) -> None:
+        """This machine dies.  Every cached block -- including dirty
+        data the 30-second delay had not yet written back -- is lost;
+        that loss is the paper's headline delayed-write caveat."""
+        self.counters.crashes += 1
+        self.epoch += 1
+        self.up = False
+        block_size = self.config.block_size
+        victims = self.cache.clear()
+        for block in victims:
+            if block.dirty:
+                self.counters.lost_dirty_blocks += 1
+                self.counters.lost_dirty_bytes += max(
+                    1, min(block.written_end, block_size)
+                )
+        # The reboot keeps the machine's memory: pages the VM had lent
+        # to the cache stay lent, just empty.
+        self._spare_pages += len(victims)
+        self._known_version.clear()
+        self._uncacheable.clear()
+        self._open_files.clear()
+
+    def reboot(self, now: float) -> None:
+        """The machine comes back with a cold cache."""
+        self.up = True
+
+    def partition(self, now: float, until: float) -> None:
+        """The network cuts this client off from the server until
+        ``until`` (overlapping partitions extend the window)."""
+        if now >= self.partition_until:
+            self.counters.partitions += 1
+        self.partition_until = max(self.partition_until, until)
+
+    def heal_partition(self, now: float) -> None:
+        """The partition ends; re-validate what we kept cached and
+        replay writes that came due while cut off."""
+        if now < self.partition_until or not self.up:
+            return  # extended by a later partition, or machine is down
+        if not self.server.up:
+            return  # still unreachable; the server recovery sweep will run
+        self._revalidate_cached_files(now)
+        self._replay_overdue_writes(now)
+
+    def on_server_recovered(self, now: float) -> None:
+        """Sprite's stateful reopen protocol, client side.
+
+        Re-register every open file, re-validate every cached file
+        against the durable version stamps, and replay dirty blocks
+        whose writeback came due during the outage.  No cached block
+        survives recovery without re-validation.
+        """
+        if not self.up or now < self.partition_until:
+            return  # unreachable clients recover later (reboot or heal)
+        # Files that were uncacheable are re-evaluated from scratch:
+        # the server lost the sharing state and the reopens below
+        # rebuild it, broadcasting cache-disable for files still shared.
+        self._uncacheable.clear()
+        for file_id in sorted(self._open_files):
+            reads, writes = self._open_files[file_id]
+            if reads or writes:
+                self.counters.reopen_rpcs += 1
+                self.server.reopen_file(now, file_id, self.client_id, reads, writes)
+        self._revalidate_cached_files(now)
+        self._replay_overdue_writes(now)
+
+    def _revalidate_cached_files(self, now: float) -> None:
+        """One validation RPC per cached file; drop blocks whose
+        version no longer matches (dirty ones among them are lost --
+        they conflict with writes accepted elsewhere)."""
+        block_size = self.config.block_size
+        for file_id in sorted(self.cache.resident_files()):
+            self.counters.revalidate_rpcs += 1
+            current = self.server.revalidate_file(now, file_id)
+            known = self._known_version.get(file_id)
+            if known is not None and known == current:
+                continue
+            victims = self.cache.invalidate_file(file_id)
+            for block in victims:
+                if block.dirty:
+                    self.counters.lost_dirty_blocks += 1
+                    self.counters.lost_dirty_bytes += max(
+                        1, min(block.written_end, block_size)
+                    )
+            self.counters.blocks_invalidated_on_recovery += len(victims)
+            self._spare_pages += len(victims)
+            self._known_version.pop(file_id, None)
+
+    def _replay_overdue_writes(self, now: float) -> None:
+        """Write back dirty blocks whose 30-second deadline passed while
+        the server was unreachable (the "replay un-acked writes" half of
+        the reopen protocol)."""
+        cutoff = now - self.config.writeback_delay
+        overdue = self.cache.dirty_blocks_older_than(cutoff)
+        for file_id in sorted({b.file_id for b in overdue}):
+            self._clean_file(now, file_id, CleanReason.RECOVERY)
+            self.server.note_written_back(file_id, self.client_id)
+
     # --- opens and closes ---------------------------------------------------------
 
     def open_file(self, now: float, file_id: int, will_write: bool) -> bool:
@@ -86,12 +239,17 @@ class ClientKernel:
         mechanism).
         """
         self.counters.file_open_ops += 1
+        self.await_server(now)  # naming op: always stalls through outages
         reply = self.server.open_file(now, file_id, self.client_id, will_write)
+        counts = self._open_files.get(file_id)
+        if counts is None:
+            counts = self._open_files[file_id] = [0, 0]
+        counts[1 if will_write else 0] += 1
         known = self._known_version.get(file_id)
         expected = reply.version - 1 if will_write else reply.version
         if known is not None and known != expected and known != reply.version:
             # Our cached copy predates the current version: flush it.
-            self._spare_pages += len(self.cache.invalidate_file(file_id))
+            self._discard_stale_blocks(file_id)
         self._known_version[file_id] = reply.version
         if not reply.cacheable:
             self._uncacheable.add(file_id)
@@ -101,10 +259,16 @@ class ClientKernel:
         self, now: float, file_id: int, wrote: bool, fsync: bool = False
     ) -> None:
         """Close a file, optionally forcing its dirty data through."""
+        self.await_server(now)  # naming op: always stalls through outages
         if fsync and wrote:
             self._clean_file(now, file_id, CleanReason.FSYNC)
             self.server.note_written_back(file_id, self.client_id)
         self.server.close_file(now, file_id, self.client_id, wrote)
+        counts = self._open_files.get(file_id)
+        if counts is not None:
+            counts[1 if wrote else 0] = max(0, counts[1 if wrote else 0] - 1)
+            if counts == [0, 0]:
+                del self._open_files[file_id]
 
     # --- reads and writes -----------------------------------------------------------
 
@@ -127,7 +291,8 @@ class ClientKernel:
         paging = paging_kind is not None
         if file_id in self._uncacheable:
             self.counters.shared_bytes_read += length
-            self.server.passthrough_read(now, file_id, length)
+            if self.await_server(now, data_op=True):
+                self.server.passthrough_read(now, file_id, length)
             return
         if paging_kind == "code":
             self.counters.paging_code_bytes += length
@@ -137,6 +302,17 @@ class ClientKernel:
             self.counters.file_bytes_read += length
             if migrated:
                 self.counters.migrated_read_bytes += length
+
+        # Faults: while the server is unreachable, cache hits may serve
+        # stale bytes (the durable version moved on without us) and
+        # misses stall or fail per the degraded mode.  ``fetch_allowed``
+        # gates (and books the stall for) this call's misses just once.
+        unreachable = self._unavailable_until(now) > now
+        stale = unreachable and (
+            self.server.peek_version(file_id)
+            > self._known_version.get(file_id, 0)
+        )
+        fetch_allowed: bool | None = None
 
         block_size = self.config.block_size
         first = offset // block_size
@@ -154,9 +330,17 @@ class ClientKernel:
             key = (file_id, index)
             if key in self.cache:
                 self.cache.touch(key, now)
+                if stale:
+                    self.counters.stale_reads_served += 1
+                    self.counters.stale_read_bytes += overlap
                 continue
             # Miss: fetch from the server and install.
             self.counters.cache_read_misses += 1
+            if unreachable:
+                if fetch_allowed is None:
+                    fetch_allowed = self.await_server(now, data_op=True)
+                if not fetch_allowed:
+                    continue  # dropped transfer: nothing crossed the wire
             self.counters.cache_read_miss_bytes += overlap
             if paging:
                 self.counters.paging_read_misses += 1
@@ -182,12 +366,22 @@ class ClientKernel:
             return
         if file_id in self._uncacheable:
             self.counters.shared_bytes_written += length
-            self.server.passthrough_write(now, file_id, length)
+            if self.await_server(now, data_op=True):
+                self.server.passthrough_write(now, file_id, length)
             return
         self.counters.file_bytes_written += length
         self.counters.cache_write_bytes += length
         if migrated:
             self.counters.migrated_write_bytes += length
+
+        # Faults: write fetches need the server; when one is dropped in
+        # "fail" mode the write degrades to an unfetched overwrite (the
+        # block starts empty instead of being filled from the server).
+        # Write-through mode stalls through outages like any sync write.
+        unreachable = self._unavailable_until(now) > now
+        fetch_allowed: bool | None = None
+        if unreachable and self.config.write_through:
+            self.await_server(now)
 
         block_size = self.config.block_size
         first = offset // block_size
@@ -204,7 +398,12 @@ class ClientKernel:
             if block is None:
                 partial = begin > block_start or end < block_start + block_size
                 overwrites_existing = begin > block_start
-                if partial and overwrites_existing:
+                fetch = partial and overwrites_existing
+                if fetch and unreachable:
+                    if fetch_allowed is None:
+                        fetch_allowed = self.await_server(now, data_op=True)
+                    fetch = fetch_allowed
+                if fetch:
                     # Partial write of a non-resident block: fetch it
                     # first (Table 6's "write fetch").
                     self.counters.write_fetch_ops += 1
@@ -219,6 +418,8 @@ class ClientKernel:
                     self._make_room(now)
                     block = self.cache.insert(key, now, migrated=migrated)
                     block.written_end = 0
+            if not block.dirty:
+                self.counters.blocks_dirtied += 1
             self.cache.mark_dirty(key, now, migrated=migrated)
             block.written_end = max(block.written_end, end - block_start)
             if self.config.write_through:
@@ -226,6 +427,7 @@ class ClientKernel:
 
     def fsync_file(self, now: float, file_id: int) -> None:
         """Application-requested synchronous write-through."""
+        self.await_server(now)  # sync write: stalls through outages
         self._clean_file(now, file_id, CleanReason.FSYNC)
         self.server.note_written_back(file_id, self.client_id)
 
@@ -236,6 +438,7 @@ class ClientKernel:
                 # Absorbed by the delayed-write policy: never reaches
                 # the server (the ~10% write savings).
                 self.counters.dirty_bytes_discarded += max(1, block.written_end)
+                self.counters.dirty_blocks_discarded += 1
             self.cache.remove(block.key)
             self._spare_pages += 1
         self._known_version.pop(file_id, None)
@@ -243,16 +446,20 @@ class ClientKernel:
     def directory_read(self, now: float, length: int) -> None:
         """Directories are not cached on clients."""
         self.counters.directory_bytes_read += length
-        self.server.passthrough_read(now, -1, length)
+        if self.await_server(now, data_op=True):
+            self.server.passthrough_read(now, -1, length)
 
     # --- paging -------------------------------------------------------------------
 
     def paging_backing(self, now: float, nbytes: int, is_write: bool) -> None:
-        """Backing-file traffic: straight to the server."""
+        """Backing-file traffic: straight to the server.  Paging cannot
+        fail open -- a dropped page would kill the process -- so it
+        always uses stall semantics."""
         if is_write:
             self.counters.paging_backing_bytes_written += nbytes
         else:
             self.counters.paging_backing_bytes_read += nbytes
+        self.await_server(now)
         self.server.paging_transfer(now, nbytes)
 
     # --- internals ------------------------------------------------------------------
@@ -309,6 +516,17 @@ class ClientKernel:
     def _writeback_scan(self) -> None:
         """The 5-second daemon: clean files with 30-second-old data."""
         now = self.engine.now
+        if (
+            not self.up
+            or not self.server.up
+            or self._unavailable_until(now) > now
+        ):
+            # Dead machine or unreachable server: the daemon does not
+            # retry -- overdue blocks are replayed by the recovery sweep
+            # (or by the first scan after the outage ends).  The
+            # explicit ``server.up`` check covers the instant at the end
+            # of a scheduled outage, before recovery has actually run.
+            return
         cutoff = now - self.config.writeback_delay
         old_blocks = self.cache.dirty_blocks_older_than(cutoff)
         if not old_blocks:
@@ -336,10 +554,24 @@ class ClientKernel:
         elif reason is CleanReason.RECALL:
             self.counters.blocks_cleaned_recall += 1
             self.counters.clean_age_sum_recall += age
+        elif reason is CleanReason.RECOVERY:
+            self.counters.blocks_cleaned_recovery += 1
+            self.counters.clean_age_sum_recovery += age
         else:
             self.counters.blocks_cleaned_vm += 1
             self.counters.clean_age_sum_vm += age
         self.cache.mark_clean(block.key)
+
+    def _discard_stale_blocks(self, file_id: int) -> None:
+        """Drop a file's blocks because the server's version moved on
+        (the timestamp mechanism at open).  Dirty blocks among them --
+        possible only under faults, when a recall could not reach us --
+        are counted discarded so the dirty-block ledger stays balanced."""
+        for block in self.cache.invalidate_file(file_id):
+            if block.dirty:
+                self.counters.dirty_bytes_discarded += max(1, block.written_end)
+                self.counters.dirty_blocks_discarded += 1
+            self._spare_pages += 1
 
     def snapshot_sizes(self) -> None:
         """Refresh the sampled size counters before a snapshot."""
@@ -347,3 +579,4 @@ class ClientKernel:
         self.counters.vm_resident_bytes = (
             self.vm.vm_resident_pages * self.config.block_size
         )
+        self.counters.dirty_blocks_resident = self.cache.dirty_count

@@ -18,6 +18,7 @@ from repro.common.units import MB
 from repro.fs.client import ClientKernel
 from repro.fs.config import ClusterConfig
 from repro.fs.counters import ClientCounters, CounterSnapshot, ServerCounters
+from repro.fs.faults import FaultInjector, FaultSchedule
 from repro.fs.paging import PagingModel
 from repro.fs.server import Server
 from repro.fs.vm import VirtualMemory
@@ -63,15 +64,31 @@ class _OpenState:
     file_id: int
     migrated: bool
     wrote: bool = False
+    #: Client crash epoch at open time; a close whose open predates the
+    #: client's last reboot is dropped (that open died with the machine).
+    epoch: int = 0
 
 
 class Cluster:
-    """One simulated Sprite cluster."""
+    """One simulated Sprite cluster.
 
-    def __init__(self, config: ClusterConfig, seed: int = 7) -> None:
+    ``fault_schedule`` injects an explicit, scripted set of faults; when
+    omitted and ``config.faults`` has non-zero rates, a schedule is
+    generated deterministically from the cluster seed at replay time.
+    With fault rates at zero and no explicit schedule, nothing fault-
+    related runs and the replay is byte-identical to a fault-free build.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        seed: int = 7,
+        fault_schedule: FaultSchedule | None = None,
+    ) -> None:
         self.config = config
         self.engine = Engine()
         self.rng = RngStream.root(seed).fork("cluster")
+        self._fault_schedule = fault_schedule
         self.server = Server(config.server_memory, config.block_size)
         self.server.on_cacheability_change = self._cacheability_changed
 
@@ -137,30 +154,74 @@ class Cluster:
     def _client(self, client_id: int) -> ClientKernel:
         return self.clients[client_id % len(self.clients)]
 
+    # --- fault transitions -------------------------------------------------------
+
+    def crash_server(self, down_until: float) -> None:
+        """The server crashes, staying down until ``down_until``."""
+        self.server.crash(self.engine.now, down_until)
+
+    def recover_server(self) -> None:
+        """The server reboots; every reachable client runs the reopen
+        protocol, in client order (deterministic)."""
+        now = self.engine.now
+        self.server.recover(now)
+        for client in self.clients:
+            client.on_server_recovered(now)
+
+    def crash_client(self, client: ClientKernel) -> None:
+        """A client dies: its cache (and any un-written dirty data) is
+        lost and the server purges its registrations."""
+        client.crash(self.engine.now)
+        self.server.client_crashed(client.client_id)
+
+    def reboot_client(self, client: ClientKernel) -> None:
+        client.reboot(self.engine.now)
+
+    def partition_client(self, client: ClientKernel, until: float) -> None:
+        client.partition(self.engine.now, until)
+
+    def heal_client(self, client: ClientKernel) -> None:
+        client.heal_partition(self.engine.now)
+
     # --- record dispatch ---------------------------------------------------------
 
     def dispatch(self, record: TraceRecord) -> None:
-        """Apply one trace record to the cluster."""
+        """Apply one trace record to the cluster.
+
+        Records addressed to a crashed client are dropped (the user's
+        processes died with the machine), as are closes whose opens
+        predate the client's last reboot.
+        """
         now = self.engine.now
         self._records += 1
         if isinstance(record, OpenRecord):
             client = self._client(record.client_id)
+            if not client.up:
+                client.counters.ops_dropped_while_down += 1
+                return
             will_write = record.mode is not AccessMode.READ
             client.open_file(now, record.file_id, will_write)
             self._opens[record.open_id] = _OpenState(
                 client_id=record.client_id,
                 file_id=record.file_id,
                 migrated=record.migrated,
+                epoch=client.epoch,
             )
             self.paging[client.client_id].on_activity(now, record.migrated)
         elif isinstance(record, ReadRunRecord):
             client = self._client(record.client_id)
+            if not client.up:
+                client.counters.ops_dropped_while_down += 1
+                return
             client.read(
                 now, record.file_id, record.offset, record.length,
                 migrated=record.migrated,
             )
         elif isinstance(record, WriteRunRecord):
             client = self._client(record.client_id)
+            if not client.up:
+                client.counters.ops_dropped_while_down += 1
+                return
             client.write(
                 now, record.file_id, record.offset, record.length,
                 migrated=record.migrated,
@@ -171,6 +232,11 @@ class Cluster:
         elif isinstance(record, CloseRecord):
             client = self._client(record.client_id)
             state = self._opens.pop(record.open_id, None)
+            if not client.up or (state is not None and state.epoch != client.epoch):
+                # Machine is down, or it rebooted since the open: the
+                # open-file handle died with it.
+                client.counters.ops_dropped_while_down += 1
+                return
             wrote = state.wrote if state is not None else False
             fsync = wrote and self.rng.bernoulli(self.config.fsync_probability)
             client.close_file(now, record.file_id, wrote, fsync=fsync)
@@ -183,12 +249,20 @@ class Cluster:
             # so subclasses can hook it.)
             pass
         elif isinstance(record, (DeleteRecord, TruncateRecord)):
+            client = self._client(record.client_id)
+            if not client.up:
+                client.counters.ops_dropped_while_down += 1
+                return
+            client.await_server(now)  # naming ops always reach the server
             self.server.name_operation(now)
             self.server.invalidate_file(record.file_id)
-            for client in self.clients:
-                client.delete_file(now, record.file_id)
+            for each in self.clients:
+                each.delete_file(now, record.file_id)
         elif isinstance(record, DirectoryReadRecord):
             client = self._client(record.client_id)
+            if not client.up:
+                client.counters.ops_dropped_while_down += 1
+                return
             client.directory_read(now, record.length)
 
     # --- main entry ------------------------------------------------------------
@@ -197,6 +271,16 @@ class Cluster:
         self, records: Iterable[TraceRecord], duration: float
     ) -> ClusterResult:
         """Replay a full trace and return the measurement data."""
+        schedule = self._fault_schedule
+        if schedule is None and self.config.faults.any_faults:
+            schedule = FaultSchedule.generate(
+                self.config.faults,
+                self.config.client_count,
+                duration,
+                self.rng.fork("faults"),
+            )
+        if schedule is not None and len(schedule):
+            FaultInjector(self, schedule).arm()
         last_time = 0.0
         for record in records:
             if record.time < last_time:
@@ -227,7 +311,10 @@ def run_cluster_on_trace(
     duration: float,
     config: ClusterConfig | None = None,
     seed: int = 7,
+    fault_schedule: FaultSchedule | None = None,
 ) -> ClusterResult:
     """Convenience wrapper: build a cluster and replay one trace."""
-    cluster = Cluster(config or ClusterConfig(), seed=seed)
+    cluster = Cluster(
+        config or ClusterConfig(), seed=seed, fault_schedule=fault_schedule
+    )
     return cluster.replay(records, duration)

@@ -8,9 +8,10 @@ changes rather than code changes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.common.errors import ConfigError
+from repro.fs.faults import FaultConfig
 from repro.common.units import (
     BLOCK_SIZE,
     DEFAULT_CLIENT_COUNT,
@@ -61,6 +62,11 @@ class ClusterConfig:
     #: (the paper measured paging at roughly 35% of all traffic).
     paging_intensity: float = 1.0
 
+    #: Fault injection (server/client crashes, network partitions) and
+    #: the RPC retry policy.  All rates default to zero: a default
+    #: config replays byte-identically to a fault-free build.
+    faults: FaultConfig = field(default_factory=FaultConfig)
+
     def __post_init__(self) -> None:
         if self.client_count <= 0:
             raise ConfigError("need at least one client")
@@ -76,6 +82,10 @@ class ClusterConfig:
             raise ConfigError(f"bad max cache fraction {self.max_cache_fraction}")
         if self.snapshot_interval <= 0:
             raise ConfigError("snapshot interval must be positive")
+        if not isinstance(self.faults, FaultConfig):
+            raise ConfigError(
+                f"faults must be a FaultConfig, got {type(self.faults).__name__}"
+            )
 
     @property
     def client_page_count(self) -> int:

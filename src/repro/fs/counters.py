@@ -56,15 +56,35 @@ class ClientCounters:
 
     # --- writeback ------------------------------------------------------------
     bytes_written_to_server: int = 0
+    blocks_dirtied: int = 0  # clean->dirty transitions, ever
     blocks_cleaned_delay: int = 0
     blocks_cleaned_fsync: int = 0
     blocks_cleaned_recall: int = 0
     blocks_cleaned_vm: int = 0
+    blocks_cleaned_recovery: int = 0  # replayed after a crash/partition
     clean_age_sum_delay: float = 0.0
     clean_age_sum_fsync: float = 0.0
     clean_age_sum_recall: float = 0.0
     clean_age_sum_vm: float = 0.0
+    clean_age_sum_recovery: float = 0.0
     dirty_bytes_discarded: int = 0  # deleted/truncated before writeback
+    dirty_blocks_discarded: int = 0
+
+    # --- faults and recovery ---------------------------------------------------
+    crashes: int = 0  # times this client rebooted
+    partitions: int = 0  # partitions that hit this client
+    lost_dirty_blocks: int = 0  # dirty data destroyed by a crash or conflict
+    lost_dirty_bytes: int = 0
+    rpc_retries: int = 0  # backoff attempts against an unreachable server
+    rpc_failed_ops: int = 0  # data ops dropped after rpc_timeout ("fail" mode)
+    stall_seconds: float = 0.0  # process-seconds spent waiting for the server
+    ops_dropped_while_down: int = 0  # trace records hitting a dead client
+    stale_reads_served: int = 0  # cache hits on stale data while partitioned
+    stale_read_bytes: int = 0
+    reopen_rpcs: int = 0  # recovery: re-register open files
+    revalidate_rpcs: int = 0  # recovery: version-check cached files
+    blocks_invalidated_on_recovery: int = 0  # failed re-validation
+    dirty_blocks_resident: int = 0  # current, sampled at snapshot time
 
     # --- replacement ------------------------------------------------------------
     blocks_replaced_for_file: int = 0
@@ -118,6 +138,30 @@ class ClientCounters:
         )
 
     @property
+    def blocks_cleaned_total(self) -> int:
+        """Dirty blocks written to the server, any reason."""
+        return (
+            self.blocks_cleaned_delay
+            + self.blocks_cleaned_fsync
+            + self.blocks_cleaned_recall
+            + self.blocks_cleaned_vm
+            + self.blocks_cleaned_recovery
+        )
+
+    @property
+    def dirty_blocks_accounted(self) -> int:
+        """Every dirty block's eventual fate: written back, absorbed by
+        a delete, destroyed by a fault, or still dirty at the final
+        snapshot.  Equals :attr:`blocks_dirtied` in a consistent run
+        (the chaos suite's conservation invariant)."""
+        return (
+            self.blocks_cleaned_total
+            + self.dirty_blocks_discarded
+            + self.lost_dirty_blocks
+            + self.dirty_blocks_resident
+        )
+
+    @property
     def server_bytes(self) -> int:
         """Bytes that crossed the network to or from the server.
 
@@ -153,6 +197,13 @@ class ServerCounters:
     server_cache_misses: int = 0
     disk_reads: int = 0
     disk_writes: int = 0
+
+    # --- faults and recovery ---------------------------------------------------
+    crashes: int = 0
+    downtime_seconds: float = 0.0
+    reopen_rpcs: int = 0  # clients re-registering opens after recovery
+    revalidate_rpcs: int = 0  # clients version-checking cached files
+    recalls_failed: int = 0  # dirty-data recall hit an unreachable client
 
     def copy(self) -> "ServerCounters":
         clone = ServerCounters()

@@ -1,0 +1,326 @@
+"""Fault injection and crash recovery.
+
+The paper measures a healthy cluster, but its Section 5 caveats are all
+about failure: Sprite's 30-second delayed writes can lose up to 30
+seconds of work on a crash, and its stateful servers must rebuild their
+open-file state from the clients when they reboot.  This module turns
+those caveats into measurable experiments:
+
+* a :class:`FaultSchedule` -- a deterministic, seeded list of
+  :class:`FaultEvent`\\ s (server crashes, client crashes, network
+  partitions) generated from the rates in :class:`FaultConfig`;
+* a :class:`FaultInjector` that arms the schedule on the cluster's
+  event engine, so faults interleave with the trace replay exactly like
+  the writeback daemons and counter snapshots do;
+* the accounting helpers for RPC retry with exponential backoff.
+
+Recovery follows Sprite's stateful reopen protocol (Section 5.6 of the
+paper and the Sprite recovery papers): when the server returns, each
+client re-registers its open files (reopen RPCs), re-validates every
+cached file against the server's durable version stamp (dropping stale
+blocks), and immediately replays dirty blocks whose writeback came due
+while the server was unreachable.
+
+Accounting conventions (the replay is open-loop, so the global clock
+never stalls):
+
+* A stalled operation books the retries and the stall time it *would*
+  have experienced -- ``stall_seconds`` is process-seconds, summed over
+  stalled operations, and can exceed the wall-clock downtime when many
+  operations stall concurrently.
+* Naming operations (open, close, fsync, delete) always use "stall"
+  semantics: they eventually execute, logically at recovery time.
+  Data operations (block fetches, passthrough reads/writes) honour
+  ``degraded_mode``: ``"stall"`` behaves like a hard mount, ``"fail"``
+  gives up after ``rpc_timeout`` and drops the transfer.
+* With every rate at its default of zero the subsystem is inert: no
+  events are scheduled, no random stream is consumed, and no counter
+  moves -- fault-free runs are byte-identical to a build without this
+  module.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.common.errors import ConfigError
+from repro.common.rng import RngStream
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fs.cluster import Cluster
+
+#: ``FaultEvent.target`` value meaning the (single, aggregated) server.
+SERVER_TARGET = -1
+
+
+class FaultKind(enum.Enum):
+    """What breaks."""
+
+    SERVER_CRASH = "server_crash"
+    CLIENT_CRASH = "client_crash"
+    PARTITION = "partition"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One injected fault: something breaks at ``time`` and heals
+    ``duration`` seconds later."""
+
+    time: float
+    kind: FaultKind
+    target: int  # client id, or SERVER_TARGET
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigError(f"fault scheduled before time zero: {self.time}")
+        if self.duration <= 0:
+            raise ConfigError(f"fault needs a positive duration: {self.duration}")
+        if self.kind is FaultKind.SERVER_CRASH and self.target != SERVER_TARGET:
+            raise ConfigError("server crashes must target SERVER_TARGET")
+        if self.kind is not FaultKind.SERVER_CRASH and self.target < 0:
+            raise ConfigError(f"client fault needs a client target, got {self.target}")
+
+    @property
+    def end_time(self) -> float:
+        return self.time + self.duration
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault-injection knobs; all rates default to zero (no faults).
+
+    Rates are events per simulated *hour* (per client-hour for client
+    faults), turned into exponential inter-arrival gaps by
+    :meth:`FaultSchedule.generate`.  Downtimes and partition durations
+    are exponential means, floored at one second.
+    """
+
+    #: Server crashes per simulated hour (0 = never).
+    server_crash_rate: float = 0.0
+    #: Mean seconds the server stays down per crash.
+    server_downtime: float = 60.0
+    #: Client crashes per client per simulated hour.
+    client_crash_rate: float = 0.0
+    #: Mean seconds a crashed client stays down.
+    client_downtime: float = 120.0
+    #: Network partitions per client per simulated hour.
+    partition_rate: float = 0.0
+    #: Mean seconds a partition lasts.
+    partition_duration: float = 30.0
+
+    #: A client gives up on an unreachable server after this much
+    #: cumulative backoff (data operations in ``"fail"`` mode only).
+    rpc_timeout: float = 30.0
+    #: First retry delay; doubles (``rpc_backoff_factor``) up to
+    #: ``rpc_max_backoff`` -- classic exponential backoff.
+    rpc_initial_backoff: float = 0.1
+    rpc_backoff_factor: float = 2.0
+    rpc_max_backoff: float = 5.0
+    #: What a data operation does when the timeout expires with the
+    #: server still unreachable: ``"stall"`` keeps waiting (hard mount),
+    #: ``"fail"`` drops the transfer (fail open).
+    degraded_mode: str = "stall"
+
+    def __post_init__(self) -> None:
+        for name in ("server_crash_rate", "client_crash_rate", "partition_rate"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
+        for name in ("server_downtime", "client_downtime", "partition_duration"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.rpc_timeout <= 0:
+            raise ConfigError("rpc_timeout must be positive")
+        if self.rpc_initial_backoff <= 0 or self.rpc_max_backoff <= 0:
+            raise ConfigError("backoff delays must be positive")
+        if self.rpc_backoff_factor < 1.0:
+            raise ConfigError("rpc_backoff_factor must be >= 1")
+        if self.degraded_mode not in ("stall", "fail"):
+            raise ConfigError(
+                f"degraded_mode must be 'stall' or 'fail', got {self.degraded_mode!r}"
+            )
+
+    @property
+    def any_faults(self) -> bool:
+        """True when any fault can actually occur."""
+        return (
+            self.server_crash_rate > 0
+            or self.client_crash_rate > 0
+            or self.partition_rate > 0
+        )
+
+
+def retries_for_wait(config: FaultConfig, wait: float) -> int:
+    """RPC attempts an exponential-backoff loop makes over ``wait``
+    seconds of unavailability (at least one)."""
+    delay = config.rpc_initial_backoff
+    elapsed = 0.0
+    attempts = 0
+    while elapsed < wait:
+        attempts += 1
+        elapsed += delay
+        delay = min(delay * config.rpc_backoff_factor, config.rpc_max_backoff)
+    return max(1, attempts)
+
+
+@dataclass
+class FaultSchedule:
+    """A time-ordered list of fault events for one replay.
+
+    Build one explicitly for scripted scenarios, or derive one from the
+    rates in a :class:`FaultConfig` with :meth:`generate` -- the same
+    config, population, duration, and stream always yield the same
+    schedule, no matter what else consumes randomness.
+    """
+
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.events = sorted(
+            self.events, key=lambda e: (e.time, e.kind.value, e.target)
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @classmethod
+    def generate(
+        cls,
+        config: FaultConfig,
+        client_count: int,
+        duration: float,
+        rng: RngStream,
+    ) -> "FaultSchedule":
+        """Draw a schedule over ``[0, duration)``.
+
+        Each failure process (the server, each client's crashes, each
+        client's partitions) draws from its own forked stream, and the
+        next fault is drawn from the end of the previous outage, so
+        faults of one kind never overlap on one target.
+        """
+        events: list[FaultEvent] = []
+
+        def draw(
+            stream: RngStream,
+            rate_per_hour: float,
+            mean_downtime: float,
+            kind: FaultKind,
+            target: int,
+        ) -> None:
+            if rate_per_hour <= 0:
+                return
+            mean_gap = 3600.0 / rate_per_hour
+            t = 0.0
+            while True:
+                t += stream.exponential(mean_gap)
+                if t >= duration:
+                    return
+                down = max(1.0, stream.exponential(mean_downtime))
+                events.append(FaultEvent(t, kind, target, down))
+                t += down
+
+        draw(
+            rng.fork("server"),
+            config.server_crash_rate,
+            config.server_downtime,
+            FaultKind.SERVER_CRASH,
+            SERVER_TARGET,
+        )
+        for client_id in range(client_count):
+            draw(
+                rng.fork(f"client-crash-{client_id}"),
+                config.client_crash_rate,
+                config.client_downtime,
+                FaultKind.CLIENT_CRASH,
+                client_id,
+            )
+            draw(
+                rng.fork(f"partition-{client_id}"),
+                config.partition_rate,
+                config.partition_duration,
+                FaultKind.PARTITION,
+                client_id,
+            )
+        return cls(events)
+
+
+class FaultInjector:
+    """Arms a schedule on a cluster's event engine.
+
+    Crashes and their recoveries are ordinary engine events, so they
+    fire deterministically between trace records -- a fault at the same
+    timestamp as a record fires first (the engine runs up to the record
+    time before the record is dispatched).  Recoveries scheduled past
+    the replay's end simply never fire: the run ends with the fault
+    outstanding and the counters say so.
+    """
+
+    def __init__(self, cluster: "Cluster", schedule: FaultSchedule) -> None:
+        self._cluster = cluster
+        self.schedule = schedule
+        self.injected = 0
+
+    def arm(self) -> None:
+        engine = self._cluster.engine
+        for event in self.schedule.events:
+            engine.schedule_at(event.time, _Apply(self, event))
+
+    def apply(self, event: FaultEvent) -> None:
+        cluster = self._cluster
+        self.injected += 1
+        if event.kind is FaultKind.SERVER_CRASH:
+            cluster.crash_server(event.end_time)
+            cluster.engine.schedule_at(event.end_time, cluster.recover_server)
+        elif event.kind is FaultKind.CLIENT_CRASH:
+            client = cluster.clients[event.target % len(cluster.clients)]
+            cluster.crash_client(client)
+            cluster.engine.schedule_at(
+                event.end_time, _Reboot(cluster, client)
+            )
+        else:
+            client = cluster.clients[event.target % len(cluster.clients)]
+            cluster.partition_client(client, event.end_time)
+            cluster.engine.schedule_at(
+                event.end_time, _Heal(cluster, client)
+            )
+
+
+class _Apply:
+    """Picklable-free callback shims (plain closures would also work;
+    classes keep reprs useful when debugging the event heap)."""
+
+    __slots__ = ("_injector", "_event")
+
+    def __init__(self, injector: FaultInjector, event: FaultEvent) -> None:
+        self._injector = injector
+        self._event = event
+
+    def __call__(self) -> None:
+        self._injector.apply(self._event)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Apply({self._event!r})"
+
+
+class _Reboot:
+    __slots__ = ("_cluster", "_client")
+
+    def __init__(self, cluster: "Cluster", client) -> None:
+        self._cluster = cluster
+        self._client = client
+
+    def __call__(self) -> None:
+        self._cluster.reboot_client(self._client)
+
+
+class _Heal:
+    __slots__ = ("_cluster", "_client")
+
+    def __init__(self, cluster: "Cluster", client) -> None:
+        self._cluster = cluster
+        self._client = client
+
+    def __call__(self) -> None:
+        self._cluster.heal_client(self._client)

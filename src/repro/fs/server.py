@@ -66,6 +66,10 @@ class Server:
         #: Invoked whenever a file's cacheability changes, with
         #: (file_id, cacheable); used to tell clients to bypass caches.
         self.on_cacheability_change: Callable[[int, bool], None] | None = None
+        #: False while crashed; clients retry (with backoff) until
+        #: ``down_until``, then run the reopen protocol.
+        self.up = True
+        self.down_until = 0.0
 
     def register_client(self, client: "ClientKernel") -> None:
         if client.client_id in self._clients:
@@ -95,10 +99,18 @@ class Server:
         if state.last_writer not in (-1, client_id):
             writer = self._clients.get(state.last_writer)
             if writer is not None and writer.has_dirty_data(file_id):
-                writer.recall_dirty_data(now, file_id)
-                self.counters.recalls_issued += 1
-                recalled = True
-            state.last_writer = -1
+                if writer.reachable(now):
+                    writer.recall_dirty_data(now, file_id)
+                    self.counters.recalls_issued += 1
+                    recalled = True
+                    state.last_writer = -1
+                else:
+                    # The last writer is crashed or partitioned: the
+                    # recall fails, this open sees stale bytes, and the
+                    # writer stays on record for a later recall.
+                    self.counters.recalls_failed += 1
+            else:
+                state.last_writer = -1
 
         # Register the open.
         opens = state.writers if will_write else state.readers
@@ -154,6 +166,85 @@ class Server:
         state = self.state_of(file_id)
         if state.last_writer == client_id:
             state.last_writer = -1
+
+    # --- crash and recovery -------------------------------------------------------
+
+    def crash(self, now: float, down_until: float) -> None:
+        """The server crashes and loses its volatile state.
+
+        Version stamps are durable (they live with the files on disk),
+        but the open-file registrations, last-writer records, and the
+        block cache are all in memory and are gone until clients rebuild
+        them through the reopen protocol.
+        """
+        self.counters.crashes += 1
+        self.counters.downtime_seconds += max(0.0, down_until - now)
+        self.up = False
+        self.down_until = down_until
+        for state in self._files.values():
+            state.readers.clear()
+            state.writers.clear()
+            state.last_writer = -1
+            state.uncacheable = False
+        self.cache.clear()
+
+    def recover(self, now: float) -> None:
+        """The server reboots; the cluster then drives each reachable
+        client's reopen/revalidate/replay sweep."""
+        self.up = True
+        self.down_until = 0.0
+
+    def reopen_file(
+        self, now: float, file_id: int, client_id: int,
+        read_count: int, write_count: int,
+    ) -> None:
+        """Recovery RPC: a client re-registers its opens for one file.
+
+        The counts *replace* this client's registrations (reopen is
+        idempotent: an open that stalled through the outage and executed
+        against the rebooted server is simply confirmed), then the
+        concurrent-write-sharing check runs again, re-disabling caching
+        for files that are still write-shared.
+        """
+        self.counters.rpc_count += 1
+        self.counters.reopen_rpcs += 1
+        state = self.state_of(file_id)
+        if read_count > 0:
+            state.readers[client_id] = read_count
+        else:
+            state.readers.pop(client_id, None)
+        if write_count > 0:
+            state.writers[client_id] = write_count
+        else:
+            state.writers.pop(client_id, None)
+        sharing_clients = set(state.readers) | set(state.writers)
+        if state.writers and len(sharing_clients) > 1 and not state.uncacheable:
+            self._set_cacheability(file_id, state, cacheable=False)
+
+    def revalidate_file(self, now: float, file_id: int) -> int:
+        """Recovery RPC: return a file's durable version so the client
+        can decide whether its cached blocks survived."""
+        self.counters.rpc_count += 1
+        self.counters.revalidate_rpcs += 1
+        return self.state_of(file_id).version
+
+    def peek_version(self, file_id: int) -> int:
+        """The durable version stamp, with no RPC accounting -- used by
+        the simulator's omniscient stale-read detector, not by clients."""
+        state = self._files.get(file_id)
+        return state.version if state is not None else 0
+
+    def client_crashed(self, client_id: int) -> None:
+        """A client rebooted: purge its registrations.  Dirty data it
+        was caching is gone, so a pending last-writer record for it is
+        dropped (that data can never be recalled)."""
+        for state in self._files.values():
+            state.readers.pop(client_id, None)
+            state.writers.pop(client_id, None)
+            if state.last_writer == client_id:
+                state.last_writer = -1
+            if state.uncacheable and not state.readers and not state.writers:
+                self._set_cacheability(state.file_id, state, cacheable=True)
 
     # --- data plane -----------------------------------------------------------
 

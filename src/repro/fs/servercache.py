@@ -51,6 +51,14 @@ class ServerCache:
         while len(self._blocks) > self.capacity_blocks:
             self._blocks.popitem(last=False)
 
+    def clear(self) -> int:
+        """Drop everything (a server crash loses the whole cache);
+        returns how many blocks were resident.  Hit/miss counts are
+        cumulative across reboots and are kept."""
+        count = len(self._blocks)
+        self._blocks.clear()
+        return count
+
     def invalidate_file(self, file_id: int) -> int:
         """Drop all blocks of one file; returns how many were dropped."""
         victims = [key for key in self._blocks if key[0] == file_id]

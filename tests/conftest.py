@@ -10,6 +10,19 @@ from __future__ import annotations
 import pytest
 
 from repro.common.rng import RngStream
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "Rewrite tests/golden/*.json from the current experiment "
+            "outputs instead of comparing against them.  Use after an "
+            "intentional behaviour change; review the diff."
+        ),
+    )
 from repro.experiments import ExperimentContext
 from repro.fs import ClusterConfig, run_cluster_on_trace
 from repro.workload import STANDARD_PROFILES, generate_trace

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis import (
-    Access,
     assemble_accesses,
     classify_access,
     compute_access_patterns,

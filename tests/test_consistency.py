@@ -15,7 +15,6 @@ from repro.trace.records import (
     CloseRecord,
     OpenRecord,
     ReadRunRecord,
-    SharedWriteRecord,
     WriteRunRecord,
 )
 

@@ -2,7 +2,6 @@
 agree about the same quantities."""
 
 from dataclasses import fields
-import pytest
 
 from repro.consistency import compute_actions
 from repro.fs import ClusterConfig, run_cluster_on_trace

@@ -1,0 +1,86 @@
+"""Golden-table regression tests.
+
+Every experiment's rendered table (hashed) and exact metric values are
+pinned in ``tests/golden/experiments_scale0.05_seed1991.json``.  The
+simulation is deterministic, so any drift -- a reordered event, an RNG
+draw added on a hot path, a counter counted twice -- shows up here as a
+byte-level mismatch even when the numbers still look plausible.
+
+After an *intentional* behaviour change, regenerate with::
+
+    pytest tests/test_golden_tables.py --regen-golden
+
+and review the JSON diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import EXPERIMENT_IDS, run_experiment
+
+GOLDEN_PATH = (
+    Path(__file__).parent / "golden" / "experiments_scale0.05_seed1991.json"
+)
+
+
+def _entry(result) -> dict:
+    return {
+        "title": result.title,
+        "rendered_sha256": hashlib.sha256(
+            result.rendered.encode("utf-8")
+        ).hexdigest(),
+        "metrics": {key: result.metrics[key] for key in sorted(result.metrics)},
+    }
+
+
+@pytest.fixture(scope="module")
+def golden(request, experiment_context):
+    """The golden file contents; rewritten first under ``--regen-golden``."""
+    if request.config.getoption("--regen-golden"):
+        document = {
+            "scale": experiment_context.scale,
+            "seed": experiment_context.seed,
+            "experiments": {
+                experiment_id: _entry(
+                    run_experiment(experiment_id, experiment_context)
+                )
+                for experiment_id in EXPERIMENT_IDS
+            },
+        }
+        GOLDEN_PATH.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+def test_golden_covers_every_experiment(golden):
+    assert sorted(golden["experiments"]) == sorted(EXPERIMENT_IDS), (
+        "experiment registry and golden file disagree; run "
+        "pytest tests/test_golden_tables.py --regen-golden"
+    )
+
+
+def test_golden_context_matches_fixture(golden, experiment_context):
+    assert golden["scale"] == experiment_context.scale
+    assert golden["seed"] == experiment_context.seed
+
+
+@pytest.mark.parametrize("experiment_id", EXPERIMENT_IDS)
+def test_experiment_matches_golden(experiment_id, golden, experiment_context):
+    expected = golden["experiments"][experiment_id]
+    actual = _entry(run_experiment(experiment_id, experiment_context))
+    assert actual["metrics"] == expected["metrics"], (
+        f"{experiment_id}: metrics drifted from golden; if intentional, "
+        "regenerate with --regen-golden and review the diff"
+    )
+    assert actual["rendered_sha256"] == expected["rendered_sha256"], (
+        f"{experiment_id}: rendered table drifted from golden (metrics "
+        "unchanged -- formatting or row-order change?)"
+    )
+    assert actual["title"] == expected["title"]

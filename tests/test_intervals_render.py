@@ -89,6 +89,7 @@ class TestSpanIntervals:
         width=st.floats(min_value=0.1, max_value=1e4),
     )
     @settings(max_examples=100, deadline=None)
+    @pytest.mark.slow
     def test_span_covers_endpoints_property(self, start, length, width):
         end = start + length
         spans = list(span_intervals(start, end, width))

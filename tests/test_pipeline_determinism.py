@@ -34,6 +34,7 @@ def serial_metrics(tmp_path_factory):
     return cache_dir, metrics
 
 
+@pytest.mark.slow
 def test_parallel_build_is_byte_identical(serial_metrics):
     """workers=4 (cold, no cache) reproduces the serial metrics exactly."""
     _, expected = serial_metrics

@@ -1,5 +1,7 @@
 """Tests for the full-report generator and the report CLI path."""
 
+import pytest
+
 from repro.experiments.cli import main
 from repro.experiments.report import build_report, write_report
 
@@ -9,6 +11,7 @@ class TestReport:
         text = build_report(experiment_context)
         for marker in (
             "SECTION 4", "SECTION 5", "CACHE CONSISTENCY", "THEN VS NOW",
+            "BEYOND THE PAPER", "Table R",
             "Table 1", "Table 12", "Figure 4",
             "Paging latency and network analysis",
         ):
@@ -19,6 +22,7 @@ class TestReport:
         text = write_report(path, experiment_context)
         assert path.read_text(encoding="utf-8") == text
 
+    @pytest.mark.slow
     def test_cli_report_option(self, tmp_path, capsys):
         path = tmp_path / "r.txt"
         exit_code = main(
