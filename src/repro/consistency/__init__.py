@@ -15,7 +15,11 @@ Three analyses, all trace-driven:
   files;
 * :mod:`repro.consistency.recovery` -- Table R, the cost of the
   30-second delayed-write policy under injected crashes: dirty bytes
-  lost and reopen-protocol traffic as the writeback age is swept.
+  lost and reopen-protocol traffic as the writeback age is swept;
+* :mod:`repro.consistency.lossy` -- Table S, the three schemes (and the
+  full cluster's at-most-once transport) under a lossy network: stale
+  reads from lost invalidations versus the retransmission/stall cost of
+  reliable delivery.
 """
 
 from repro.consistency.events import SharedFileActivity, extract_shared_activity
@@ -31,6 +35,12 @@ from repro.consistency.schemes import (
     SchemeComparison,
     simulate_schemes,
 )
+from repro.consistency.lossy import (
+    LossRateCell,
+    LossStudyResult,
+    MessageLossModel,
+    loss_models_for,
+)
 
 __all__ = [
     "SharedFileActivity",
@@ -45,4 +55,8 @@ __all__ = [
     "SchemeOverhead",
     "SchemeComparison",
     "simulate_schemes",
+    "LossRateCell",
+    "LossStudyResult",
+    "MessageLossModel",
+    "loss_models_for",
 ]

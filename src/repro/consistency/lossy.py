@@ -1,0 +1,174 @@
+"""Table S: cache consistency under a lossy network.
+
+The paper's consistency study (Table 12) assumes a reliable network:
+every invalidation, recall, and token message arrives.  This study
+drops that assumption and asks two questions the at-most-once transport
+(:mod:`repro.fs.rpc`) makes answerable:
+
+* **scheme robustness** -- replaying the write-shared request streams
+  with a Bernoulli message-loss model attached to each scheme's
+  consistency messages: how many reads are served from a copy a lost
+  invalidation failed to drop, per scheme, as the loss rate rises?
+* **transport overhead** -- replaying a full cluster trace with the
+  lossy channel at the same rates: what does at-most-once delivery cost
+  in retransmissions and stall time, and does the protocol-invariant
+  oracle stay clean (it must -- the whole point of the transport is that
+  message loss degrades performance, never correctness)?
+
+The loss model is untimed at the scheme level: a lost consistency
+message is retransmitted and "lands" at the victim's next touch of the
+affected block, so one read in that window is served stale.  That makes
+the stale-read count a direct measure of each scheme's exposure window
+rather than of any particular retransmission timer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import SimulationError
+from repro.common.render import format_number, render_table
+from repro.common.rng import RngStream
+from repro.consistency.schemes import SchemeComparison, SchemeOverhead
+from repro.fs.rpc import MAX_ATTEMPTS
+
+#: The scheme keys of :func:`repro.consistency.schemes.simulate_schemes`.
+SCHEME_KEYS: tuple[str, ...] = ("sprite", "modified", "token")
+
+
+class MessageLossModel:
+    """Bernoulli loss with retransmission until delivery.
+
+    One model per scheme, forked from the study seed, so each scheme
+    sees an independent (but reproducible) loss pattern.
+    """
+
+    __slots__ = ("loss_rate", "rng")
+
+    def __init__(self, loss_rate: float, rng: RngStream) -> None:
+        if not 0.0 <= loss_rate <= 1.0:
+            raise SimulationError(
+                f"message loss rate must be in [0, 1], got {loss_rate}"
+            )
+        self.loss_rate = loss_rate
+        self.rng = rng
+
+    def transmissions(self) -> int:
+        """Sends until one gets through (>= 1; capped like the
+        transport's eventually-reliable retransmission loop)."""
+        sends = 1
+        if not self.loss_rate:
+            return sends
+        while self.rng.random() < self.loss_rate and sends < MAX_ATTEMPTS:
+            sends += 1
+        return sends
+
+
+def loss_models_for(
+    rate: float, rng: RngStream
+) -> "dict[str, MessageLossModel] | None":
+    """One independent loss model per scheme (``None`` at rate zero, so
+    the lossless column draws no randomness at all)."""
+    if rate == 0.0:
+        return None
+    return {
+        key: MessageLossModel(rate, rng.fork(f"loss-{key}"))
+        for key in SCHEME_KEYS
+    }
+
+
+@dataclass
+class LossRateCell:
+    """One message-loss rate's row of Table S."""
+
+    rate: float
+    #: The scheme leg, pooled over every trace's shared-file activity.
+    comparison: SchemeComparison
+
+    #: The transport leg: one full cluster replay at this loss rate.
+    messages_sent: int = 0
+    retransmissions: int = 0
+    replies_lost: int = 0
+    duplicates_suppressed: int = 0
+    replies_replayed: int = 0
+    stale_rpcs_dropped: int = 0
+    stall_seconds: float = 0.0
+    oracle_checks: int = 0
+    oracle_violations: int = 0
+
+    def scheme(self, key: str) -> SchemeOverhead:
+        return getattr(self.comparison, key)
+
+    def stale_fraction(self, key: str) -> float:
+        return self.scheme(key).stale_read_fraction
+
+    @property
+    def retransmission_rate(self) -> float:
+        """Resends per message offered to the channel."""
+        if self.messages_sent == 0:
+            return 0.0
+        return self.retransmissions / self.messages_sent
+
+
+@dataclass
+class LossStudyResult:
+    """Table S: one cell per swept message-loss rate."""
+
+    cells: list[LossRateCell]
+
+    def render(self) -> str:
+        scheme_rows = []
+        for cell in self.cells:
+            row = [f"{cell.rate * 100:g}%"]
+            for key in SCHEME_KEYS:
+                overhead = cell.scheme(key)
+                row.append(
+                    f"{overhead.stale_reads} "
+                    f"({overhead.stale_read_fraction * 100:.2f}%)"
+                )
+            row.append(str(cell.scheme("token").retransmissions))
+            scheme_rows.append(row)
+        schemes_table = render_table(
+            "Table S. Stale reads under message loss, per consistency scheme",
+            [
+                "Loss rate",
+                "Sprite stale reads",
+                "Mod Sprite stale reads",
+                "Token stale reads",
+                "Token resends",
+            ],
+            scheme_rows,
+            note=(
+                "Reads served from a copy a lost invalidation failed to "
+                "drop (count and fraction of all reads to write-shared "
+                "files).  The cluster transport below pays resends and "
+                "stall instead: with at-most-once RPC the oracle column "
+                "must stay at zero."
+            ),
+        )
+        transport_rows = [
+            [
+                f"{cell.rate * 100:g}%",
+                str(cell.messages_sent),
+                str(cell.retransmissions),
+                str(cell.replies_lost),
+                str(cell.duplicates_suppressed),
+                format_number(cell.stall_seconds, 1),
+                f"{cell.oracle_violations}/{cell.oracle_checks}",
+            ]
+            for cell in self.cells
+        ]
+        transport_table = render_table(
+            "Table S (cont.) At-most-once transport overhead, full replay",
+            [
+                "Loss rate",
+                "Messages",
+                "Resends",
+                "Replies lost",
+                "Dups suppressed",
+                "Stall (s)",
+                "Violations/checks",
+            ],
+            transport_rows,
+        )
+        return f"{schemes_table}\n\n{transport_table}"

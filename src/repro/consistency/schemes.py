@@ -28,12 +28,15 @@ Schemes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.common.render import format_with_range, render_table
 from repro.common.stats import MinMax
 from repro.common.units import BLOCK_SIZE, DELAYED_WRITE_SECONDS
 from repro.consistency.events import SharedFileActivity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.consistency.lossy import MessageLossModel
 
 
 @dataclass
@@ -45,6 +48,10 @@ class SchemeOverhead:
     rpcs: int = 0
     bytes_requested: int = 0
     requests: int = 0
+    #: Lossy-network accounting (zero unless a loss model is attached).
+    reads: int = 0
+    stale_reads: int = 0  # reads served from a copy a lost message missed
+    retransmissions: int = 0  # consistency messages resent after a loss
 
     @property
     def byte_ratio(self) -> float:
@@ -58,11 +65,49 @@ class SchemeOverhead:
             return 0.0
         return self.rpcs / self.requests
 
+    @property
+    def stale_read_fraction(self) -> float:
+        if self.reads == 0:
+            return 0.0
+        return self.stale_reads / self.reads
+
 
 def _blocks_in(offset: int, length: int) -> range:
     if length <= 0:
         return range(0)
     return range(offset // BLOCK_SIZE, (offset + length - 1) // BLOCK_SIZE + 1)
+
+
+def _invalidate_copies(
+    overhead: SchemeOverhead,
+    cached: set[tuple[int, int]],
+    stale_marks: set[tuple[int, int]],
+    copies: list[tuple[int, int]],
+    loss: "MessageLossModel | None",
+) -> None:
+    """Drop other clients' copies of freshly written blocks.
+
+    With a loss model attached, the invalidation message to each victim
+    client may need retransmissions; until the resend lands the victim
+    keeps serving its (now stale) copy.  The model is untimed, so "until
+    the resend lands" is rendered as "until the victim next touches the
+    block": a read in that window is a stale read, after which the
+    straggling invalidation catches up and the copy drops.
+    """
+    if loss is None:
+        for key in copies:
+            cached.discard(key)
+        return
+    for victim in sorted({key[0] for key in copies}):
+        sends = loss.transmissions()
+        overhead.retransmissions += sends - 1
+        victim_keys = [key for key in copies if key[0] == victim]
+        if sends == 1:
+            for key in victim_keys:
+                cached.discard(key)
+                stale_marks.discard(key)
+        else:
+            stale_marks.update(victim_keys)
 
 
 class _WindowedScheme:
@@ -73,7 +118,11 @@ class _WindowedScheme:
         self.name = name
         self.until_all_close = until_all_close
 
-    def run(self, activity: SharedFileActivity) -> SchemeOverhead:
+    def run(
+        self,
+        activity: SharedFileActivity,
+        loss: "MessageLossModel | None" = None,
+    ) -> SchemeOverhead:
         overhead = SchemeOverhead(name=self.name)
         windows = activity.sharing_windows(self.until_all_close)
 
@@ -82,6 +131,8 @@ class _WindowedScheme:
 
         #: (client, block) -> resident?
         cached: set[tuple[int, int]] = set()
+        #: Copies a lost invalidation message failed to drop.
+        stale_marks: set[tuple[int, int]] = set()
         #: (client, block) -> time the block became dirty (for the
         #: delayed-write model: it is flushed 30 s later).
         dirty: dict[tuple[int, int], float] = {}
@@ -101,6 +152,8 @@ class _WindowedScheme:
             flush_due(request.time)
             overhead.requests += 1
             overhead.bytes_requested += request.length
+            if not request.is_write:
+                overhead.reads += 1
             if uncacheable(request.time):
                 # Pass through: exactly the requested bytes, one RPC.
                 overhead.bytes_transferred += request.length
@@ -108,23 +161,37 @@ class _WindowedScheme:
                 continue
             # Cacheable: block-grain caching with delayed writes.
             fetched = False
+            served_stale = False
             for block in _blocks_in(request.offset, request.length):
                 key = (request.client_id, block)
                 if request.is_write:
+                    stale_marks.discard(key)  # overwritten: no longer stale
                     if key not in cached:
                         cached.add(key)
                     if key not in dirty:
                         dirty[key] = request.time
                     # Other clients' copies become stale; Sprite-style
                     # version checks would flush them at next open --
-                    # model by dropping them.
-                    for other in [k for k in cached if k[1] == block and k[0] != request.client_id]:
-                        cached.discard(other)
+                    # model by dropping them (unless the message is lost).
+                    copies = [
+                        k for k in cached
+                        if k[1] == block and k[0] != request.client_id
+                    ]
+                    _invalidate_copies(overhead, cached, stale_marks, copies, loss)
                 else:
-                    if key not in cached:
-                        overhead.bytes_transferred += BLOCK_SIZE
-                        fetched = True
-                        cached.add(key)
+                    if key in cached:
+                        if key in stale_marks:
+                            # A hit on a copy a lost invalidation missed;
+                            # the resend lands right after this read.
+                            served_stale = True
+                            cached.discard(key)
+                            stale_marks.discard(key)
+                        continue
+                    overhead.bytes_transferred += BLOCK_SIZE
+                    fetched = True
+                    cached.add(key)
+            if served_stale:
+                overhead.stale_reads += 1
             if fetched:
                 overhead.rpcs += 1  # one bulk fetch per request
         # Residual dirty blocks eventually flush (bulk, per client).
@@ -136,11 +203,16 @@ class _WindowedScheme:
 class _TokenScheme:
     """The token-based scheme."""
 
-    def run(self, activity: SharedFileActivity) -> SchemeOverhead:
+    def run(
+        self,
+        activity: SharedFileActivity,
+        loss: "MessageLossModel | None" = None,
+    ) -> SchemeOverhead:
         overhead = SchemeOverhead(name="Token")
         write_holder: int | None = None
         read_holders: set[int] = set()
         cached: set[tuple[int, int]] = set()
+        stale_marks: set[tuple[int, int]] = set()
         dirty: dict[tuple[int, int], float] = {}
 
         def flush_client(client: int) -> None:
@@ -176,18 +248,20 @@ class _TokenScheme:
                     for reader in read_holders:
                         if reader != client:
                             overhead.rpcs += 1  # token recall
-                    # A write-token grant invalidates other caches.
+                    # A write-token grant invalidates other caches
+                    # (lossily: a lost invalidation leaves stale copies).
                     stale = [k for k in cached if k[0] != client]
-                    for key in stale:
-                        cached.discard(key)
+                    _invalidate_copies(overhead, cached, stale_marks, stale, loss)
                     read_holders.clear()
                     write_holder = client
                     overhead.rpcs += 1  # the token request itself
                 for block in _blocks_in(request.offset, request.length):
                     key = (client, block)
+                    stale_marks.discard(key)
                     cached.add(key)
                     dirty.setdefault(key, request.time)
             else:
+                overhead.reads += 1
                 holds_token = client == write_holder or client in read_holders
                 if not holds_token:
                     if write_holder is not None and write_holder != client:
@@ -198,12 +272,20 @@ class _TokenScheme:
                     read_holders.add(client)
                     overhead.rpcs += 1  # the token request
                 fetched = False
+                served_stale = False
                 for block in _blocks_in(request.offset, request.length):
                     key = (client, block)
-                    if key not in cached:
-                        overhead.bytes_transferred += BLOCK_SIZE
-                        fetched = True
-                        cached.add(key)
+                    if key in cached:
+                        if key in stale_marks:
+                            served_stale = True
+                            cached.discard(key)
+                            stale_marks.discard(key)
+                        continue
+                    overhead.bytes_transferred += BLOCK_SIZE
+                    fetched = True
+                    cached.add(key)
+                if served_stale:
+                    overhead.stale_reads += 1
                 if fetched:
                     overhead.rpcs += 1  # one bulk fetch per request
         overhead.bytes_transferred += BLOCK_SIZE * len(dirty)
@@ -226,8 +308,14 @@ class SchemeComparison:
 
 def simulate_schemes(
     activities: Sequence[SharedFileActivity],
+    loss_models: "dict[str, MessageLossModel] | None" = None,
 ) -> SchemeComparison:
-    """Run all three schemes over the shared-file activity of a trace."""
+    """Run all three schemes over the shared-file activity of a trace.
+
+    ``loss_models`` (keys ``sprite`` / ``modified`` / ``token``) attaches
+    an independent message-loss model per scheme for the Table S study;
+    with ``None`` no randomness is drawn and the result is Table 12's.
+    """
     totals = {
         "sprite": SchemeOverhead(name="Sprite"),
         "modified": SchemeOverhead(name="Modified Sprite"),
@@ -242,12 +330,16 @@ def simulate_schemes(
         if not activity.requests:
             continue
         for key, runner in runners.items():
-            result = runner.run(activity)
+            loss = loss_models.get(key) if loss_models else None
+            result = runner.run(activity, loss=loss)
             total = totals[key]
             total.bytes_transferred += result.bytes_transferred
             total.rpcs += result.rpcs
             total.bytes_requested += result.bytes_requested
             total.requests += result.requests
+            total.reads += result.reads
+            total.stale_reads += result.stale_reads
+            total.retransmissions += result.retransmissions
     return SchemeComparison(
         sprite=totals["sprite"],
         modified=totals["modified"],

@@ -50,11 +50,17 @@ from repro.consistency import (
     simulate_schemes,
 )
 from repro.consistency.actions import render_table10
+from repro.consistency.lossy import (
+    LossRateCell,
+    LossStudyResult,
+    loss_models_for,
+)
 from repro.consistency.polling import render_table11
 from repro.consistency.schemes import render_table12
 from repro.experiments.expectations import PAPER_EXPECTATIONS
-from repro.fs import ClusterConfig, FaultConfig
-from repro.fs.cluster import ClusterResult
+from repro.common.rng import RngStream
+from repro.fs import ClusterConfig, FaultConfig, ProtocolOracle
+from repro.fs.cluster import ClusterResult, run_cluster_on_trace
 from repro.pipeline import (
     ArtifactCache,
     PipelineReport,
@@ -588,6 +594,98 @@ def _faults(ctx: ExperimentContext) -> ExperimentResult:
     )
 
 
+#: Message-loss rates swept by the rpc_loss experiment.
+LOSS_SWEEP_RATES: tuple[float, ...] = (0.0, 0.01, 0.05, 0.10)
+
+
+def _rpc_loss(ctx: ExperimentContext) -> ExperimentResult:
+    """Table S: consistency and transport cost under message loss.
+
+    Two legs per swept rate.  The scheme leg replays every trace's
+    write-shared request stream through the three Table 12 consistency
+    algorithms with a Bernoulli loss model on their invalidation
+    messages, counting reads served stale.  The transport leg replays
+    one full cluster trace through the at-most-once RPC channel at the
+    same loss rate (plus proportional duplicate/reorder/delay rates)
+    with the protocol-invariant oracle attached -- message loss must
+    cost retransmissions and stall, never correctness, so the oracle
+    column has to read 0 violations in every row.
+    """
+    activities = []
+    for trace in ctx.traces():
+        activities.extend(extract_shared_activity(trace.records))
+    trace_index = ctx.cluster_trace_indexes[0]
+    cluster_trace = ctx.traces()[trace_index]
+    base = ctx.cluster_config or ClusterConfig(client_count=ctx.client_count)
+    study_seed = ctx.seed + 8191
+    rng = RngStream.root(study_seed).fork("rpc-loss")
+
+    cells: list[LossRateCell] = []
+    for rate in LOSS_SWEEP_RATES:
+        models = loss_models_for(rate, rng.fork(f"rate-{rate:g}"))
+        comparison = simulate_schemes(activities, models)
+        config = replace(
+            base,
+            faults=FaultConfig(
+                message_loss_rate=rate,
+                message_duplicate_rate=rate / 2,
+                message_reorder_rate=rate / 2,
+                message_delay_rate=rate,
+            ),
+        )
+        oracle = ProtocolOracle(seed=study_seed, raise_on_violation=False)
+        result = run_cluster_on_trace(
+            cluster_trace.records,
+            cluster_trace.duration,
+            config,
+            seed=study_seed,
+            oracle=oracle,
+        )
+        clients = result.final_counters.values()
+        server = result.server_counters
+        cells.append(
+            LossRateCell(
+                rate=rate,
+                comparison=comparison,
+                messages_sent=sum(c.rpc_messages_sent for c in clients),
+                retransmissions=sum(c.rpc_retransmissions for c in clients),
+                replies_lost=sum(c.rpc_replies_lost for c in clients),
+                duplicates_suppressed=server.duplicate_rpcs_suppressed,
+                replies_replayed=server.rpc_replies_replayed,
+                stale_rpcs_dropped=server.stale_rpcs_dropped,
+                stall_seconds=sum(c.stall_seconds for c in clients),
+                oracle_checks=oracle.checks_run,
+                oracle_violations=len(oracle.violations),
+            )
+        )
+    study = LossStudyResult(cells)
+
+    metrics: dict[str, float] = {
+        "oracle_violations_total": float(
+            sum(cell.oracle_violations for cell in cells)
+        ),
+    }
+    for cell in cells:
+        tag = f"{cell.rate:g}"
+        metrics[f"sprite_stale_fraction_{tag}"] = cell.stale_fraction("sprite")
+        metrics[f"modified_stale_fraction_{tag}"] = cell.stale_fraction(
+            "modified"
+        )
+        metrics[f"token_stale_fraction_{tag}"] = cell.stale_fraction("token")
+    worst = cells[-1]
+    metrics["retransmission_rate_0.1"] = worst.retransmission_rate
+    metrics["replies_lost_0.1"] = float(worst.replies_lost)
+    metrics["duplicates_suppressed_0.1"] = float(worst.duplicates_suppressed)
+    metrics["messages_sent_0"] = float(cells[0].messages_sent)
+    return ExperimentResult(
+        experiment_id="rpc_loss",
+        title="Table S: consistency under a lossy network",
+        rendered=study.render(),
+        metrics=metrics,
+        paper_expectation=PAPER_EXPECTATIONS["rpc_loss"],
+    )
+
+
 _REGISTRY: dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
     "table1": _table1,
     "table2": _table2,
@@ -606,6 +704,7 @@ _REGISTRY: dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
     "table11": _table11,
     "table12": _table12,
     "faults": _faults,
+    "rpc_loss": _rpc_loss,
 }
 
 EXPERIMENT_IDS: tuple[str, ...] = tuple(_REGISTRY)

@@ -77,10 +77,11 @@ def build_report(context: ExperimentContext) -> str:
     sections.append("=" * 72)
     sections.append("BEYOND THE PAPER -- CRASHES AND THE DELAYED-WRITE RISK")
     sections.append("=" * 72)
-    result = results["faults"]
-    sections.append(result.rendered)
-    sections.append(f"Paper: {result.paper_expectation}")
-    sections.append("")
+    for experiment_id in ("faults", "rpc_loss"):
+        result = results[experiment_id]
+        sections.append(result.rendered)
+        sections.append(f"Paper: {result.paper_expectation}")
+        sections.append("")
 
     sections.append("=" * 72)
     sections.append("THEN VS NOW -- AGAINST THE 1985 BSD STUDY")

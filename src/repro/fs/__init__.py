@@ -27,6 +27,17 @@ from repro.fs.client import ClientKernel
 from repro.fs.paging import PagingModel
 from repro.fs.cluster import Cluster, ClusterResult, run_cluster_on_trace
 from repro.fs.latency import PagingLatencyAnalysis, analyze_paging_latency
+from repro.fs.oracle import InvariantViolation, ProtocolOracle, Violation
+from repro.fs.rpc import (
+    BackoffPolicy,
+    Channel,
+    DedupCache,
+    DedupStatus,
+    Delivery,
+    Message,
+    RpcTransport,
+    ServerEndpoint,
+)
 
 __all__ = [
     "ClusterConfig",
@@ -51,4 +62,15 @@ __all__ = [
     "run_cluster_on_trace",
     "PagingLatencyAnalysis",
     "analyze_paging_latency",
+    "BackoffPolicy",
+    "Channel",
+    "DedupCache",
+    "DedupStatus",
+    "Delivery",
+    "Message",
+    "RpcTransport",
+    "ServerEndpoint",
+    "InvariantViolation",
+    "ProtocolOracle",
+    "Violation",
 ]

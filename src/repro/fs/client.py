@@ -26,17 +26,26 @@ the server came back -- without advancing the global clock (see
 from __future__ import annotations
 
 from repro.common.errors import SimulationError
+from repro.common.rng import RngStream
 from repro.fs.cache import BlockCache, CacheBlock, CleanReason
 from repro.fs.config import ClusterConfig
 from repro.fs.counters import ClientCounters
-from repro.fs.faults import retries_for_wait
+from repro.fs.oracle import ProtocolOracle
+from repro.fs.rpc import RpcTransport
 from repro.fs.server import Server
 from repro.sim.engine import Engine
 from repro.sim.timers import RecurringTimer
 
 
 class ClientKernel:
-    """One diskless Sprite client."""
+    """One diskless Sprite client.
+
+    Every server interaction goes through :attr:`transport`
+    (:class:`~repro.fs.rpc.RpcTransport`): at-most-once RPC over a
+    seeded lossy channel.  ``channel_rng`` seeds that channel (may stay
+    ``None`` while the message-fault rates are zero); ``oracle``
+    attaches the protocol-invariant oracle.
+    """
 
     def __init__(
         self,
@@ -45,12 +54,17 @@ class ClientKernel:
         engine: Engine,
         server: Server,
         vm,
+        channel_rng: RngStream | None = None,
+        oracle: ProtocolOracle | None = None,
     ) -> None:
         self.client_id = client_id
         self.config = config
         self.engine = engine
         self.server = server
         self.vm = vm
+        self.transport = RpcTransport(
+            self, server, config.faults, rng=channel_rng, oracle=oracle
+        )
         self.counters = ClientCounters()
         self.cache = BlockCache(config.block_size)
         self._known_version: dict[int, int] = {}
@@ -76,6 +90,18 @@ class ClientKernel:
 
     # --- consistency hooks -------------------------------------------------------
 
+    def receive_cacheability(self, file_id: int, cacheable: bool) -> None:
+        """Server callback: a cacheability change arrives as a message
+        on this client's channel (lossy delivery, retried until it
+        lands)."""
+        now = self.engine.now
+        self.transport.deliver_callback(
+            now,
+            lambda: self.set_cacheability(file_id, cacheable),
+            "cache_disable" if not cacheable else "cache_enable",
+            file_id,
+        )
+
     def set_cacheability(self, file_id: int, cacheable: bool) -> None:
         """Server-driven: disable or re-enable caching for a file."""
         if cacheable:
@@ -89,6 +115,17 @@ class ClientKernel:
 
     def has_dirty_data(self, file_id: int) -> bool:
         return bool(self.cache.dirty_blocks_of_file(file_id))
+
+    def receive_recall(self, now: float, file_id: int) -> None:
+        """Server callback: a dirty-data recall arrives as a message on
+        this client's channel (lossy delivery, retried until it
+        lands)."""
+        self.transport.deliver_callback(
+            now,
+            lambda: self.recall_dirty_data(now, file_id),
+            "recall",
+            file_id,
+        )
 
     def recall_dirty_data(self, now: float, file_id: int) -> None:
         """The server recalls this client's dirty data for a file."""
@@ -124,10 +161,12 @@ class ClientKernel:
         faults = self.config.faults
         wait = until - now
         if wait <= faults.rpc_timeout or not data_op or faults.degraded_mode == "stall":
-            self.counters.rpc_retries += retries_for_wait(faults, wait)
+            self.counters.rpc_retries += self.transport.outage_resend_loop(wait)
             self.counters.stall_seconds += wait
             return True
-        self.counters.rpc_retries += retries_for_wait(faults, faults.rpc_timeout)
+        self.counters.rpc_retries += self.transport.outage_resend_loop(
+            faults.rpc_timeout
+        )
         self.counters.stall_seconds += faults.rpc_timeout
         self.counters.rpc_failed_ops += 1
         return False
@@ -193,7 +232,9 @@ class ClientKernel:
             reads, writes = self._open_files[file_id]
             if reads or writes:
                 self.counters.reopen_rpcs += 1
-                self.server.reopen_file(now, file_id, self.client_id, reads, writes)
+                self.transport.call(
+                    now, "reopen_file", file_id, self.client_id, reads, writes
+                )
         self._revalidate_cached_files(now)
         self._replay_overdue_writes(now)
 
@@ -204,7 +245,7 @@ class ClientKernel:
         block_size = self.config.block_size
         for file_id in sorted(self.cache.resident_files()):
             self.counters.revalidate_rpcs += 1
-            current = self.server.revalidate_file(now, file_id)
+            current = self.transport.call(now, "revalidate_file", file_id)
             known = self._known_version.get(file_id)
             if known is not None and known == current:
                 continue
@@ -227,7 +268,7 @@ class ClientKernel:
         overdue = self.cache.dirty_blocks_older_than(cutoff)
         for file_id in sorted({b.file_id for b in overdue}):
             self._clean_file(now, file_id, CleanReason.RECOVERY)
-            self.server.note_written_back(file_id, self.client_id)
+            self.transport.call(now, "note_written_back", file_id, self.client_id)
 
     # --- opens and closes ---------------------------------------------------------
 
@@ -240,7 +281,9 @@ class ClientKernel:
         """
         self.counters.file_open_ops += 1
         self.await_server(now)  # naming op: always stalls through outages
-        reply = self.server.open_file(now, file_id, self.client_id, will_write)
+        reply = self.transport.call(
+            now, "open_file", file_id, self.client_id, will_write
+        )
         counts = self._open_files.get(file_id)
         if counts is None:
             counts = self._open_files[file_id] = [0, 0]
@@ -262,8 +305,8 @@ class ClientKernel:
         self.await_server(now)  # naming op: always stalls through outages
         if fsync and wrote:
             self._clean_file(now, file_id, CleanReason.FSYNC)
-            self.server.note_written_back(file_id, self.client_id)
-        self.server.close_file(now, file_id, self.client_id, wrote)
+            self.transport.call(now, "note_written_back", file_id, self.client_id)
+        self.transport.call(now, "close_file", file_id, self.client_id, wrote)
         counts = self._open_files.get(file_id)
         if counts is not None:
             counts[1 if wrote else 0] = max(0, counts[1 if wrote else 0] - 1)
@@ -292,7 +335,7 @@ class ClientKernel:
         if file_id in self._uncacheable:
             self.counters.shared_bytes_read += length
             if self.await_server(now, data_op=True):
-                self.server.passthrough_read(now, file_id, length)
+                self.transport.call(now, "passthrough_read", file_id, length)
             return
         if paging_kind == "code":
             self.counters.paging_code_bytes += length
@@ -348,7 +391,7 @@ class ClientKernel:
             if migrated:
                 self.counters.migrated_read_misses += 1
                 self.counters.migrated_read_miss_bytes += overlap
-            self.server.fetch_block(now, file_id, index, overlap)
+            self.transport.call(now, "fetch_block", file_id, index, overlap)
             self._make_room(now)
             block = self.cache.insert(key, now, migrated=migrated)
             block.written_end = block_size  # a fetched block is full
@@ -367,7 +410,7 @@ class ClientKernel:
         if file_id in self._uncacheable:
             self.counters.shared_bytes_written += length
             if self.await_server(now, data_op=True):
-                self.server.passthrough_write(now, file_id, length)
+                self.transport.call(now, "passthrough_write", file_id, length)
             return
         self.counters.file_bytes_written += length
         self.counters.cache_write_bytes += length
@@ -410,7 +453,7 @@ class ClientKernel:
                     self.counters.write_fetch_bytes += block_size
                     if migrated:
                         self.counters.migrated_write_fetch_ops += 1
-                    self.server.fetch_block(now, file_id, index, block_size)
+                    self.transport.call(now, "fetch_block", file_id, index, block_size)
                     self._make_room(now)
                     block = self.cache.insert(key, now, migrated=migrated)
                     block.written_end = block_size
@@ -429,7 +472,13 @@ class ClientKernel:
         """Application-requested synchronous write-through."""
         self.await_server(now)  # sync write: stalls through outages
         self._clean_file(now, file_id, CleanReason.FSYNC)
-        self.server.note_written_back(file_id, self.client_id)
+        self.transport.call(now, "note_written_back", file_id, self.client_id)
+
+    def delete_on_server(self, now: float, file_id: int) -> None:
+        """Issue the delete/truncate naming RPC: one message carries
+        both the name operation and the server-side invalidation."""
+        self.await_server(now)  # naming op: always stalls through outages
+        self.transport.call(now, "delete_file", file_id)
 
     def delete_file(self, now: float, file_id: int) -> None:
         """Handle a delete (or truncate-to-zero) of a file."""
@@ -447,7 +496,7 @@ class ClientKernel:
         """Directories are not cached on clients."""
         self.counters.directory_bytes_read += length
         if self.await_server(now, data_op=True):
-            self.server.passthrough_read(now, -1, length)
+            self.transport.call(now, "passthrough_read", -1, length)
 
     # --- paging -------------------------------------------------------------------
 
@@ -460,7 +509,7 @@ class ClientKernel:
         else:
             self.counters.paging_backing_bytes_read += nbytes
         self.await_server(now)
-        self.server.paging_transfer(now, nbytes)
+        self.transport.call(now, "paging_transfer", nbytes)
 
     # --- internals ------------------------------------------------------------------
 
@@ -534,7 +583,7 @@ class ClientKernel:
         # All dirty blocks of a file go when any block is 30s old.
         for file_id in sorted({b.file_id for b in old_blocks}):
             self._clean_file(now, file_id, CleanReason.DELAY)
-            self.server.note_written_back(file_id, self.client_id)
+            self.transport.call(now, "note_written_back", file_id, self.client_id)
 
     def _clean_file(self, now: float, file_id: int, reason: CleanReason) -> None:
         for block in self.cache.dirty_blocks_of_file(file_id):
@@ -543,7 +592,7 @@ class ClientKernel:
     def _clean_block(self, now: float, block: CacheBlock, reason: CleanReason) -> None:
         nbytes = max(1, min(block.written_end, self.config.block_size))
         age = max(0.0, now - block.dirty_since) if block.dirty_since >= 0 else 0.0
-        self.server.write_block(now, block.file_id, block.index, nbytes)
+        self.transport.call(now, "write_block", block.file_id, block.index, nbytes)
         self.counters.bytes_written_to_server += nbytes
         if reason is CleanReason.DELAY:
             self.counters.blocks_cleaned_delay += 1

@@ -19,6 +19,7 @@ from repro.fs.client import ClientKernel
 from repro.fs.config import ClusterConfig
 from repro.fs.counters import ClientCounters, CounterSnapshot, ServerCounters
 from repro.fs.faults import FaultInjector, FaultSchedule
+from repro.fs.oracle import ProtocolOracle
 from repro.fs.paging import PagingModel
 from repro.fs.server import Server
 from repro.fs.vm import VirtualMemory
@@ -77,6 +78,10 @@ class Cluster:
     generated deterministically from the cluster seed at replay time.
     With fault rates at zero and no explicit schedule, nothing fault-
     related runs and the replay is byte-identical to a fault-free build.
+
+    ``oracle`` attaches a :class:`~repro.fs.oracle.ProtocolOracle` to
+    every client's RPC transport; its dirty-conservation sweep runs once
+    after the final snapshot.
     """
 
     def __init__(
@@ -84,11 +89,13 @@ class Cluster:
         config: ClusterConfig,
         seed: int = 7,
         fault_schedule: FaultSchedule | None = None,
+        oracle: ProtocolOracle | None = None,
     ) -> None:
         self.config = config
         self.engine = Engine()
         self.rng = RngStream.root(seed).fork("cluster")
         self._fault_schedule = fault_schedule
+        self.oracle = oracle
         self.server = Server(config.server_memory, config.block_size)
         self.server.on_cacheability_change = self._cacheability_changed
 
@@ -108,8 +115,13 @@ class Cluster:
                 base_demand_pages=min(base_pages, config.client_page_count // 2),
                 cache_floor_pages=config.min_cache_size // config.block_size,
             )
+            # ``fork`` is a pure function of the parent key and name, so
+            # the channel stream exists (unused) even in fault-free runs
+            # without perturbing any other stream.
             client = ClientKernel(
-                client_id, config, self.engine, self.server, vm
+                client_id, config, self.engine, self.server, vm,
+                channel_rng=client_rng.fork("channel"),
+                oracle=oracle,
             )
             self.server.register_client(client)
             self.clients.append(client)
@@ -137,7 +149,7 @@ class Cluster:
 
     def _cacheability_changed(self, file_id: int, cacheable: bool) -> None:
         for client in self.clients:
-            client.set_cacheability(file_id, cacheable)
+            client.receive_cacheability(file_id, cacheable)
 
     def _take_snapshots(self) -> None:
         now = self.engine.now
@@ -253,9 +265,7 @@ class Cluster:
             if not client.up:
                 client.counters.ops_dropped_while_down += 1
                 return
-            client.await_server(now)  # naming ops always reach the server
-            self.server.name_operation(now)
-            self.server.invalidate_file(record.file_id)
+            client.delete_on_server(now, record.file_id)
             for each in self.clients:
                 each.delete_file(now, record.file_id)
         elif isinstance(record, DirectoryReadRecord):
@@ -294,6 +304,8 @@ class Cluster:
         if duration > self.engine.now:
             self.engine.run_until(duration)
         self._take_snapshots()  # final reading
+        if self.oracle is not None:
+            self.oracle.final_check(self.engine.now, self.clients)
         return ClusterResult(
             config=self.config,
             duration=duration,
@@ -312,9 +324,11 @@ def run_cluster_on_trace(
     config: ClusterConfig | None = None,
     seed: int = 7,
     fault_schedule: FaultSchedule | None = None,
+    oracle: ProtocolOracle | None = None,
 ) -> ClusterResult:
     """Convenience wrapper: build a cluster and replay one trace."""
     cluster = Cluster(
-        config or ClusterConfig(), seed=seed, fault_schedule=fault_schedule
+        config or ClusterConfig(), seed=seed, fault_schedule=fault_schedule,
+        oracle=oracle,
     )
     return cluster.replay(records, duration)

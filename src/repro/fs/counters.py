@@ -81,6 +81,14 @@ class ClientCounters:
     ops_dropped_while_down: int = 0  # trace records hitting a dead client
     stale_reads_served: int = 0  # cache hits on stale data while partitioned
     stale_read_bytes: int = 0
+
+    # --- the message-level transport (repro.fs.rpc) ----------------------------
+    # All zero unless the channel is lossy: the transport books nothing
+    # on the inert fast path, keeping fault-free runs byte-identical.
+    rpc_messages_sent: int = 0  # packets offered to the lossy channel
+    rpc_retransmissions: int = 0  # resends after a lost request or reply
+    rpc_replies_lost: int = 0  # request executed but its reply dropped
+    rpc_delay_seconds: float = 0.0  # channel-delay stall (also in stall_seconds)
     reopen_rpcs: int = 0  # recovery: re-register open files
     revalidate_rpcs: int = 0  # recovery: version-check cached files
     blocks_invalidated_on_recovery: int = 0  # failed re-validation
@@ -204,6 +212,12 @@ class ServerCounters:
     reopen_rpcs: int = 0  # clients re-registering opens after recovery
     revalidate_rpcs: int = 0  # clients version-checking cached files
     recalls_failed: int = 0  # dirty-data recall hit an unreachable client
+
+    # --- at-most-once RPC (repro.fs.rpc) ---------------------------------------
+    duplicate_rpcs_suppressed: int = 0  # arrivals not executed again
+    rpc_replies_replayed: int = 0  # answered from the reply cache
+    stale_rpcs_dropped: int = 0  # evicted seq: dropped, never replayed
+    dedup_evictions: int = 0  # replies aged out of the bounded cache
 
     def copy(self) -> "ServerCounters":
         clone = ServerCounters()

@@ -124,7 +124,23 @@ class FaultConfig:
     #: ``"fail"`` drops the transfer (fail open).
     degraded_mode: str = "stall"
 
+    #: Message-level network faults (see :mod:`repro.fs.rpc`).  Each is
+    #: the per-message probability that the lossy channel drops,
+    #: duplicates, holds back (reorders), or delays a packet.  All
+    #: default to zero: the transport then never consumes randomness
+    #: and replays stay byte-identical to a build without it.
+    message_loss_rate: float = 0.0
+    message_duplicate_rate: float = 0.0
+    message_reorder_rate: float = 0.0
+    message_delay_rate: float = 0.0
+    #: Mean seconds a delayed message is late (exponential).
+    message_delay_mean: float = 0.05
+
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject impossible knob combinations with a :class:`ConfigError`."""
         for name in ("server_crash_rate", "client_crash_rate", "partition_rate"):
             if getattr(self, name) < 0:
                 raise ConfigError(f"{name} must be >= 0")
@@ -141,28 +157,55 @@ class FaultConfig:
             raise ConfigError(
                 f"degraded_mode must be 'stall' or 'fail', got {self.degraded_mode!r}"
             )
+        for name in (
+            "message_loss_rate",
+            "message_duplicate_rate",
+            "message_reorder_rate",
+            "message_delay_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {rate}")
+        if self.message_delay_mean <= 0:
+            raise ConfigError(
+                f"message_delay_mean must be positive, got {self.message_delay_mean}"
+            )
 
     @property
     def any_faults(self) -> bool:
-        """True when any fault can actually occur."""
+        """True when any outage fault can actually occur."""
         return (
             self.server_crash_rate > 0
             or self.client_crash_rate > 0
             or self.partition_rate > 0
         )
 
+    @property
+    def any_network_faults(self) -> bool:
+        """True when the message channel can misbehave."""
+        return (
+            self.message_loss_rate > 0
+            or self.message_duplicate_rate > 0
+            or self.message_reorder_rate > 0
+            or self.message_delay_rate > 0
+        )
+
 
 def retries_for_wait(config: FaultConfig, wait: float) -> int:
     """RPC attempts an exponential-backoff loop makes over ``wait``
-    seconds of unavailability (at least one)."""
-    delay = config.rpc_initial_backoff
-    elapsed = 0.0
-    attempts = 0
-    while elapsed < wait:
-        attempts += 1
-        elapsed += delay
-        delay = min(delay * config.rpc_backoff_factor, config.rpc_max_backoff)
-    return max(1, attempts)
+    seconds of unavailability (at least one).
+
+    .. deprecated::
+        This analytic helper predates the message-level transport.  The
+        retransmission loop now lives in
+        :meth:`repro.fs.rpc.BackoffPolicy.attempts_for_wait`, which the
+        transport drives with *real* resends; this shim delegates to it
+        (the arithmetic is identical, keeping fault-era golden tables
+        byte-stable) and remains only for external callers.
+    """
+    from repro.fs.rpc import BackoffPolicy
+
+    return BackoffPolicy.from_config(config).attempts_for_wait(wait)
 
 
 @dataclass

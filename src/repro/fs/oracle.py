@@ -1,0 +1,174 @@
+"""The online protocol-invariant oracle.
+
+A :class:`ProtocolOracle` hooks the RPC transport and checks protocol
+safety after every delivery, turning "the chaos run looked fine" into
+machine-checked invariants:
+
+* **at-most-once execution** -- no (client, sequence number) pair is
+  ever executed twice, however the channel duplicated, reordered, or
+  retransmitted it;
+* **monotonic version stamps** -- a file's durable version never moves
+  backwards across opens, revalidations, crashes, and recoveries
+  (deletes legitimately reset a file's stamp, so the oracle forgets a
+  file when its delete executes);
+* **no stale data after a completed invalidation** -- once a recall
+  callback is delivered, the client holds no dirty blocks of the file;
+  once a cache-disable is delivered, it holds no blocks at all;
+* **dirty-byte conservation** -- at end of replay, every block a client
+  ever dirtied is accounted for: written back, absorbed by a delete,
+  destroyed by a counted fault, or still resident dirty.
+
+A violated invariant raises (or, in collection mode, records) a
+structured :class:`InvariantViolation` carrying the replay seed, so any
+failure is replayable from its exception alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.common.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fs.client import ClientKernel
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One observed protocol-safety breach."""
+
+    invariant: str
+    time: float
+    seed: int | None
+    details: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.invariant}] t={self.time:.3f} seed={self.seed}: "
+            f"{self.details}"
+        )
+
+
+class InvariantViolation(SimulationError):
+    """Raised by the oracle; carries the structured violation (including
+    the replay seed) as :attr:`violation`."""
+
+    def __init__(self, violation: Violation) -> None:
+        super().__init__(str(violation))
+        self.violation = violation
+
+
+class ProtocolOracle:
+    """Checks protocol safety after every transport delivery.
+
+    ``seed`` is stamped into violations so they replay; with
+    ``raise_on_violation`` False the oracle records violations instead
+    of raising, letting one chaos run collect all of them.
+
+    The oracle never touches counters or randomness: attaching it to a
+    replay must not change what the replay computes, only what it
+    checks.
+    """
+
+    def __init__(
+        self, seed: int | None = None, raise_on_violation: bool = True
+    ) -> None:
+        self.seed = seed
+        self.raise_on_violation = raise_on_violation
+        self.violations: list[Violation] = []
+        self.checks_run = 0
+        #: (client_id, seq) -> executions; seq -1 (fast path) is untracked.
+        self._executed: set[tuple[int, int]] = set()
+        #: file_id -> highest version stamp ever observed.
+        self._versions: dict[int, int] = {}
+
+    def _flag(self, invariant: str, time: float, details: str) -> None:
+        violation = Violation(
+            invariant=invariant, time=time, seed=self.seed, details=details
+        )
+        self.violations.append(violation)
+        if self.raise_on_violation:
+            raise InvariantViolation(violation)
+
+    # --- transport hooks --------------------------------------------------------
+
+    def on_execute(
+        self, now: float, client_id: int, seq: int, op: str,
+        args: tuple, reply: Any,
+    ) -> None:
+        """Called by the server endpoint after executing a request."""
+        self.checks_run += 1
+        if seq >= 0:
+            key = (client_id, seq)
+            if key in self._executed:
+                self._flag(
+                    "at-most-once", now,
+                    f"client {client_id} seq {seq} ({op}) executed twice",
+                )
+            self._executed.add(key)
+        if op in ("open_file", "revalidate_file"):
+            file_id = args[0]
+            version = reply.version if op == "open_file" else reply
+            known = self._versions.get(file_id, 0)
+            if version < known:
+                self._flag(
+                    "monotonic-versions", now,
+                    f"file {file_id} version moved backwards: "
+                    f"{known} -> {version} (at {op})",
+                )
+            self._versions[file_id] = max(known, version)
+        elif op == "delete_file":
+            # A recreated file legitimately restarts its stamp.
+            self._versions.pop(args[0], None)
+
+    def on_callback(
+        self, now: float, client: "ClientKernel", kind: str, file_id: int
+    ) -> None:
+        """Called after a server callback is delivered to a client."""
+        self.checks_run += 1
+        if kind == "recall":
+            leftover = client.cache.dirty_blocks_of_file(file_id)
+            if leftover:
+                self._flag(
+                    "no-stale-after-invalidation", now,
+                    f"client {client.client_id} kept {len(leftover)} dirty "
+                    f"blocks of file {file_id} after a delivered recall",
+                )
+        elif kind == "cache_disable":
+            leftover = client.cache.blocks_of_file(file_id)
+            if leftover:
+                self._flag(
+                    "no-stale-after-invalidation", now,
+                    f"client {client.client_id} kept {len(leftover)} blocks "
+                    f"of file {file_id} after a delivered cache disable",
+                )
+
+    # --- end-of-replay checks ---------------------------------------------------
+
+    def final_check(self, now: float, clients: list["ClientKernel"]) -> None:
+        """Dirty-byte conservation, checked once the replay settles."""
+        for client in clients:
+            self.checks_run += 1
+            counters = client.counters
+            accounted = (
+                counters.blocks_cleaned_total
+                + counters.dirty_blocks_discarded
+                + counters.lost_dirty_blocks
+                + client.cache.dirty_count
+            )
+            if accounted != counters.blocks_dirtied:
+                self._flag(
+                    "dirty-byte-conservation", now,
+                    f"client {client.client_id} dirtied "
+                    f"{counters.blocks_dirtied} blocks but accounts for "
+                    f"{accounted} (cleaned {counters.blocks_cleaned_total}, "
+                    f"discarded {counters.dirty_blocks_discarded}, lost "
+                    f"{counters.lost_dirty_blocks}, resident "
+                    f"{client.cache.dirty_count})",
+                )
+
+    def assert_clean(self) -> None:
+        """Raise on the first recorded violation (collection mode)."""
+        if self.violations:
+            raise InvariantViolation(self.violations[0])

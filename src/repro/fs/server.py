@@ -63,6 +63,9 @@ class Server:
         self.cache = ServerCache(cache_bytes, block_size)
         self._files: dict[int, FileServerState] = {}
         self._clients: dict[int, "ClientKernel"] = {}
+        #: The at-most-once RPC endpoint (set by the first transport
+        #: that attaches; see :class:`repro.fs.rpc.ServerEndpoint`).
+        self.rpc_endpoint = None
         #: Invoked whenever a file's cacheability changes, with
         #: (file_id, cacheable); used to tell clients to bypass caches.
         self.on_cacheability_change: Callable[[int, bool], None] | None = None
@@ -100,7 +103,7 @@ class Server:
             writer = self._clients.get(state.last_writer)
             if writer is not None and writer.has_dirty_data(file_id):
                 if writer.reachable(now):
-                    writer.recall_dirty_data(now, file_id)
+                    writer.receive_recall(now, file_id)
                     self.counters.recalls_issued += 1
                     recalled = True
                     state.last_writer = -1

@@ -21,11 +21,12 @@ from repro.experiments.cli import build_parser, main
 
 
 class TestRegistry:
-    def test_all_seventeen_experiments_registered(self):
+    def test_all_eighteen_experiments_registered(self):
         # 12 tables + 4 figures from the paper, plus the beyond-the-paper
-        # fault study.
-        assert len(EXPERIMENT_IDS) == 17
+        # fault and lossy-network studies.
+        assert len(EXPERIMENT_IDS) == 18
         assert "faults" in EXPERIMENT_IDS
+        assert "rpc_loss" in EXPERIMENT_IDS
         assert set(PAPER_EXPECTATIONS) == set(EXPERIMENT_IDS)
 
     def test_unknown_experiment_raises(self):

@@ -55,6 +55,14 @@ class TestFaultConfig:
             {"rpc_initial_backoff": 0.0},
             {"rpc_backoff_factor": 0.5},
             {"degraded_mode": "panic"},
+            {"message_loss_rate": -0.1},
+            {"message_loss_rate": 1.5},
+            {"message_duplicate_rate": -0.1},
+            {"message_duplicate_rate": 1.0001},
+            {"message_reorder_rate": 2.0},
+            {"message_delay_rate": -1.0},
+            {"message_delay_mean": 0.0},
+            {"message_delay_mean": -1.0},
         ],
     )
     def test_validation(self, kwargs):

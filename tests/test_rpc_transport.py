@@ -1,0 +1,283 @@
+"""Unit tests for the at-most-once RPC transport (repro.fs.rpc).
+
+The chaos suite (:mod:`tests.test_rpc_chaos`) runs full replays over
+lossy channels; these tests pin down the individual mechanisms --
+channel draw order, duplicate suppression, eviction semantics,
+retransmission accounting -- one component at a time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.rng import RngStream
+from repro.fs.client import ClientKernel
+from repro.fs.config import ClusterConfig
+from repro.fs.faults import FaultConfig, retries_for_wait
+from repro.fs.rpc import (
+    MAX_ATTEMPTS,
+    BackoffPolicy,
+    Channel,
+    DedupCache,
+    DedupStatus,
+    Delivery,
+    Message,
+    ServerEndpoint,
+)
+from repro.fs.server import Server
+from repro.fs.vm import VirtualMemory
+from repro.sim import Engine
+
+
+def make_rig(client_count=1, channel_rng=None, oracle=None, **fault_kwargs):
+    """Engine + server + clients wired through the RPC transport."""
+    config = ClusterConfig(
+        client_count=client_count, faults=FaultConfig(**fault_kwargs)
+    )
+    engine = Engine()
+    server = Server(config.server_memory, config.block_size)
+    clients = []
+    for client_id in range(client_count):
+        vm = VirtualMemory(
+            total_pages=config.client_page_count,
+            preference_seconds=config.vm_preference,
+            base_demand_pages=500,
+            cache_floor_pages=config.min_cache_size // config.block_size,
+        )
+        rng = channel_rng.fork(f"client-{client_id}") if channel_rng else None
+        client = ClientKernel(
+            client_id, config, engine, server, vm,
+            channel_rng=rng, oracle=oracle,
+        )
+        server.register_client(client)
+        clients.append(client)
+    return config, engine, server, clients
+
+
+def msg(seq, client_id=0, op="name_operation", args=(), attempt=0):
+    return Message(seq=seq, client_id=client_id, op=op, args=args, attempt=attempt)
+
+
+class TestChannel:
+    def test_inert_channel_needs_no_rng(self):
+        channel = Channel(FaultConfig(), rng=None)
+        assert not channel.lossy
+        outcome, copies, delay = channel.transmit(msg(0))
+        assert outcome is Delivery.DELIVERED
+        assert copies == 0 and delay == 0.0
+
+    def test_lossy_channel_requires_rng(self):
+        with pytest.raises(SimulationError, match="needs an RNG"):
+            Channel(FaultConfig(message_loss_rate=0.5), rng=None)
+
+    def test_deterministic_across_constructions(self):
+        faults = FaultConfig(
+            message_loss_rate=0.3,
+            message_duplicate_rate=0.2,
+            message_reorder_rate=0.1,
+            message_delay_rate=0.2,
+        )
+        runs = []
+        for _ in range(2):
+            channel = Channel(faults, RngStream.root(42).fork("chan"))
+            runs.append([channel.transmit(msg(i)) for i in range(200)])
+        assert runs[0] == runs[1]
+
+    def test_total_loss_drops_everything(self):
+        channel = Channel(
+            FaultConfig(message_loss_rate=1.0), RngStream.root(1).fork("c")
+        )
+        for i in range(50):
+            outcome, _, _ = channel.transmit(msg(i))
+            assert outcome is Delivery.DROPPED
+        assert channel.messages_dropped == 50
+
+    def test_straggler_surfaces_on_drain_once(self):
+        channel = Channel(
+            FaultConfig(message_reorder_rate=1.0), RngStream.root(1).fork("c")
+        )
+        held = msg(7)
+        outcome, _, _ = channel.transmit(held)
+        assert outcome is Delivery.STRAGGLED
+        assert channel.drain() == [held]
+        assert channel.drain() == []
+
+    def test_duplicate_rate_delivers_extra_copy(self):
+        channel = Channel(
+            FaultConfig(message_duplicate_rate=1.0), RngStream.root(1).fork("c")
+        )
+        outcome, copies, _ = channel.transmit(msg(0))
+        assert outcome is Delivery.DELIVERED
+        assert copies == 1
+        assert channel.messages_duplicated == 1
+
+    def test_delay_books_positive_latency(self):
+        channel = Channel(
+            FaultConfig(message_delay_rate=1.0, message_delay_mean=0.5),
+            RngStream.root(1).fork("c"),
+        )
+        _, _, delay = channel.transmit(msg(0))
+        assert delay > 0.0
+        assert channel.delay_seconds == pytest.approx(delay)
+
+    def test_reply_leg_draws_loss_and_delay_only(self):
+        # Duplicate/reorder rates at 1.0 must not affect replies.
+        channel = Channel(
+            FaultConfig(message_duplicate_rate=1.0, message_reorder_rate=1.0),
+            RngStream.root(1).fork("c"),
+        )
+        delivered, delay = channel.transmit_reply()
+        assert delivered and delay == 0.0
+
+
+class TestBackoffPolicy:
+    def test_matches_deprecated_helper(self):
+        config = FaultConfig()
+        policy = BackoffPolicy.from_config(config)
+        for wait in (0.05, 0.5, 7.0, 60.0):
+            assert policy.attempts_for_wait(wait) == retries_for_wait(config, wait)
+
+    def test_next_delay_doubles_to_cap(self):
+        policy = BackoffPolicy(initial=1.0, factor=2.0, cap=3.0)
+        assert policy.next_delay(None) == 1.0
+        assert policy.next_delay(1.0) == 2.0
+        assert policy.next_delay(2.0) == 3.0
+        assert policy.next_delay(3.0) == 3.0
+
+
+class TestDedupCache:
+    def test_new_then_duplicate(self):
+        cache = DedupCache()
+        assert cache.classify(0, 0) == (DedupStatus.NEW, None)
+        cache.record(0, 0, "reply-0")
+        assert cache.classify(0, 0) == (DedupStatus.DUPLICATE, "reply-0")
+        assert cache.replayed == 1
+
+    def test_clients_are_independent(self):
+        cache = DedupCache()
+        cache.record(0, 5, "a")
+        assert cache.classify(1, 5) == (DedupStatus.NEW, None)
+
+    def test_retention_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            DedupCache(retention=0)
+
+    def test_evicted_seq_is_stale_not_replayed(self):
+        """The satellite-6 regression: an arrival below the high-water
+        mark whose reply aged out must be dropped silently -- replaying
+        any retained reply would answer the wrong request."""
+        cache = DedupCache(retention=2)
+        for seq in range(5):
+            assert cache.classify(0, seq)[0] is DedupStatus.NEW
+            cache.record(0, seq, f"reply-{seq}")
+        assert cache.evictions == 3
+        # Seqs 3 and 4 are retained; 0-2 were evicted.
+        status, reply = cache.classify(0, 1)
+        assert status is DedupStatus.STALE
+        assert reply is None
+        assert cache.stale_dropped == 1
+        # The retained ones still replay their own replies.
+        assert cache.classify(0, 4) == (DedupStatus.DUPLICATE, "reply-4")
+
+    def test_forget_client_resets_sequence_space(self):
+        cache = DedupCache()
+        cache.record(0, 9, "r")
+        cache.forget_client(0)
+        assert cache.classify(0, 0) == (DedupStatus.NEW, None)
+
+
+class TestServerEndpoint:
+    def test_attach_is_shared_per_server(self):
+        _, _, server, clients = make_rig(client_count=2)
+        assert clients[0].transport.endpoint is clients[1].transport.endpoint
+        assert server.rpc_endpoint is clients[0].transport.endpoint
+
+    def test_duplicate_is_suppressed_and_replayed(self):
+        _, _, server, (client,) = make_rig()
+        endpoint = server.rpc_endpoint
+        request = msg(0, op="revalidate_file", args=(1,))
+        answered, reply = endpoint.receive(0.0, request)
+        assert answered
+        rpcs_after_first = server.counters.rpc_count
+        answered_again, replayed = endpoint.receive(0.0, request)
+        assert answered_again and replayed == reply
+        # The duplicate did NOT re-execute: no new server RPC.
+        assert server.counters.rpc_count == rpcs_after_first
+        assert server.counters.duplicate_rpcs_suppressed == 1
+        assert server.counters.rpc_replies_replayed == 1
+
+    def test_stale_arrival_is_dropped_without_execution(self):
+        _, _, server, (client,) = make_rig()
+        endpoint = server.rpc_endpoint
+        endpoint.dedup.retention = 1
+        for seq in range(3):
+            endpoint.receive(0.0, msg(seq, op="name_operation"))
+        rpcs = server.counters.rpc_count
+        answered, reply = endpoint.receive(0.0, msg(0, op="name_operation"))
+        assert not answered and reply is None
+        assert server.counters.rpc_count == rpcs  # nothing re-executed
+        assert server.counters.stale_rpcs_dropped == 1
+        assert server.counters.dedup_evictions == 2
+
+    def test_eviction_counter_books_deltas(self):
+        _, _, server, (client,) = make_rig()
+        endpoint = server.rpc_endpoint
+        endpoint.dedup.retention = 2
+        for seq in range(5):
+            endpoint.receive(0.0, msg(seq, op="name_operation"))
+        assert server.counters.dedup_evictions == 3
+
+
+class TestRpcTransport:
+    def test_inert_transport_books_nothing(self):
+        _, _, server, (client,) = make_rig()
+        client.open_file(0.0, 1, will_write=False)
+        client.read(1.0, 1, 0, 4096)
+        counters = client.counters
+        assert counters.rpc_messages_sent == 0
+        assert counters.rpc_retransmissions == 0
+        assert counters.rpc_replies_lost == 0
+        assert counters.rpc_delay_seconds == 0.0
+        assert counters.stall_seconds == 0.0
+
+    def test_lossy_transport_retransmits_and_stalls(self):
+        _, _, server, (client,) = make_rig(
+            channel_rng=RngStream.root(3), message_loss_rate=0.5
+        )
+        for i in range(20):
+            client.open_file(float(i), i, will_write=False)
+        counters = client.counters
+        assert counters.rpc_messages_sent > 40  # requests + replies + resends
+        assert counters.rpc_retransmissions > 0
+        assert counters.stall_seconds > 0.0
+        # Every open still executed exactly once.
+        assert server.counters.open_rpcs == 20
+
+    def test_total_loss_still_terminates_and_executes(self):
+        _, _, server, (client,) = make_rig(
+            channel_rng=RngStream.root(3), message_loss_rate=1.0
+        )
+        client.open_file(0.0, 1, will_write=False)
+        assert server.counters.open_rpcs == 1
+        assert client.counters.rpc_retransmissions == MAX_ATTEMPTS - 1
+
+    def test_lost_reply_is_not_a_second_execution(self):
+        # Loss hits requests and replies alike; duplicate suppression
+        # must keep executions at exactly one per call regardless.
+        _, _, server, (client,) = make_rig(
+            channel_rng=RngStream.root(11),
+            message_loss_rate=0.4,
+            message_duplicate_rate=0.3,
+            message_reorder_rate=0.2,
+        )
+        for i in range(50):
+            client.transport.call(float(i), "name_operation")
+        # Stragglers may still be queued; what executed must match the
+        # calls exactly (naming RPCs only in this test).
+        assert server.counters.naming_rpcs == 50
+        assert client.counters.rpc_replies_lost > 0
+
+    def test_outage_resend_loop_matches_policy(self):
+        _, _, _, (client,) = make_rig()
+        assert client.transport.outage_resend_loop(0.5) == 3
