@@ -11,7 +11,9 @@ from repro.experiments.registry import (
     EXPERIMENT_IDS,
     ExperimentContext,
     ExperimentResult,
+    ObservedReplay,
     run_experiment,
+    run_observed_replay,
 )
 from repro.experiments.expectations import PAPER_EXPECTATIONS
 
@@ -19,6 +21,8 @@ __all__ = [
     "EXPERIMENT_IDS",
     "ExperimentContext",
     "ExperimentResult",
+    "ObservedReplay",
     "run_experiment",
+    "run_observed_replay",
     "PAPER_EXPECTATIONS",
 ]

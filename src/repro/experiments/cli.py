@@ -68,6 +68,27 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also export figure1..figure4 CDF data as CSV into DIR",
     )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="replay one cluster trace with the observability layer "
+        "(repro.obs) attached: counter timeseries, Chrome-trace events, "
+        "latency histograms; writes BENCH_obs.json and prints a summary",
+    )
+    parser.add_argument(
+        "--obs-sample-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="simulated seconds between counter samples (default 60; "
+        "requires --obs)",
+    )
+    parser.add_argument(
+        "--obs-trace-out",
+        metavar="FILE",
+        help="write the Chrome trace-event JSON to FILE (open it at "
+        "ui.perfetto.dev; requires --obs)",
+    )
     return parser
 
 
@@ -76,6 +97,15 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.workers < 0:
         parser.error(f"--workers must be >= 0, got {args.workers}")
+    if not args.obs:
+        if args.obs_sample_interval is not None:
+            parser.error("--obs-sample-interval requires --obs")
+        if args.obs_trace_out:
+            parser.error("--obs-trace-out requires --obs")
+    if args.obs_sample_interval is not None and args.obs_sample_interval <= 0:
+        parser.error(
+            f"--obs-sample-interval must be > 0, got {args.obs_sample_interval}"
+        )
     if args.no_cache:
         cache: bool | str = False
     else:
@@ -88,10 +118,36 @@ def main(argv: list[str] | None = None) -> int:
 
         for path in export_figure_data(args.figures_dir, context):
             print(f"wrote {path}")
+    observation = None
+    if args.obs:
+        import os
+
+        from repro.experiments.registry import run_observed_replay
+
+        interval = (
+            60.0 if args.obs_sample_interval is None
+            else args.obs_sample_interval
+        )
+        observed = run_observed_replay(context, sample_interval=interval)
+        observation = observed.observation
+        if args.obs_trace_out:
+            observation.write_trace(args.obs_trace_out)
+            print(f"wrote trace to {args.obs_trace_out}")
+            bench_path = os.path.join(
+                os.path.dirname(os.path.abspath(args.obs_trace_out)),
+                "BENCH_obs.json",
+            )
+        else:
+            bench_path = "BENCH_obs.json"
+        observation.write_bench(bench_path)
+        print(f"wrote {bench_path}")
+        print(f"observed replay of trace {observed.trace_name!r}:")
+        print(observation.render_summary())
+        print()
     if args.report:
         from repro.experiments.report import write_report
 
-        write_report(args.report, context)
+        write_report(args.report, context, observation=observation)
         print(f"wrote report to {args.report}")
         return 0
     ids = EXPERIMENT_IDS if args.experiment == "all" else (args.experiment,)

@@ -653,6 +653,8 @@ def _rpc_loss(ctx: ExperimentContext) -> ExperimentResult:
                 duplicates_suppressed=server.duplicate_rpcs_suppressed,
                 replies_replayed=server.rpc_replies_replayed,
                 stale_rpcs_dropped=server.stale_rpcs_dropped,
+                # stall_seconds already contains rpc_delay_seconds;
+                # never add the two (see ClientCounters.backoff_stall_seconds).
                 stall_seconds=sum(c.stall_seconds for c in clients),
                 oracle_checks=oracle.checks_run,
                 oracle_violations=len(oracle.violations),
@@ -721,3 +723,62 @@ def run_experiment(
             f"valid ids: {', '.join(EXPERIMENT_IDS)}"
         )
     return runner(context or ExperimentContext())
+
+
+# --------------------------------------------------------------------------
+# observed replays (repro.obs)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ObservedReplay:
+    """One cluster replay run with the observability layer attached."""
+
+    trace_name: str
+    result: ClusterResult
+    observation: "object"  # repro.obs.Observation (kept untyped: lazy import)
+
+
+def run_observed_replay(
+    context: ExperimentContext | None = None,
+    sample_interval: float = 60.0,
+    trace_index: int | None = None,
+    max_trace_events: int = 1_000_000,
+) -> ObservedReplay:
+    """Replay one cluster trace with ``repro.obs`` attached.
+
+    This is the observed twin of the Table 4-9 replays: same trace,
+    config, and seed as ``context.cluster_results()`` uses for the
+    chosen trace, so the final counters match those replays exactly --
+    plus a counter timeseries, an event trace, and latency histograms.
+    It bypasses the artifact cache (the observation is the point; the
+    cached result would not carry one).
+    """
+    context = context or ExperimentContext()
+    index = context.cluster_trace_indexes[0] if trace_index is None else trace_index
+    trace = context.traces()[index]
+    config = context.cluster_config or ClusterConfig(
+        client_count=context.client_count
+    )
+    # Match the replay-seed scheme of ``build_cluster_results``
+    # (``seed + 101 * offset``) so the observed run's final counters are
+    # byte-for-byte those of the corresponding table replay.
+    try:
+        offset = context.cluster_trace_indexes.index(index)
+    except ValueError:
+        offset = 0
+    from repro.obs import Observation, ObsConfig
+
+    observation = Observation(ObsConfig(
+        sample_interval=sample_interval, max_trace_events=max_trace_events,
+    ))
+    result = run_cluster_on_trace(
+        trace.records, trace.duration, config,
+        seed=context.seed + 101 * offset,
+        obs=observation,
+    )
+    return ObservedReplay(
+        trace_name=trace.profile.name,
+        result=result,
+        observation=observation,
+    )

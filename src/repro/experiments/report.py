@@ -31,8 +31,13 @@ the substitutions and EXPERIMENTS.md for the committed shape bands.
 """
 
 
-def build_report(context: ExperimentContext) -> str:
-    """Run everything and return the report text."""
+def build_report(context: ExperimentContext, observation=None) -> str:
+    """Run everything and return the report text.
+
+    ``observation`` (a :class:`repro.obs.Observation`, typically from
+    :func:`~repro.experiments.registry.run_observed_replay`) appends an
+    OBSERVABILITY section; when omitted the report text is unchanged.
+    """
     sections = [
         _HEADER.format(scale=context.scale, seed=context.seed),
     ]
@@ -106,14 +111,22 @@ def build_report(context: ExperimentContext) -> str:
     sections.append(
         f"\nCompute power grew {gap:.0f}x faster than file throughput."
     )
+    if observation is not None:
+        sections.append("")
+        sections.append("=" * 72)
+        sections.append("OBSERVABILITY -- COUNTER TIMESERIES, TRACE, LATENCIES")
+        sections.append("=" * 72)
+        sections.append(observation.render_summary())
     return "\n".join(sections)
 
 
 def write_report(
-    path: str | os.PathLike[str], context: ExperimentContext | None = None
+    path: str | os.PathLike[str],
+    context: ExperimentContext | None = None,
+    observation=None,
 ) -> str:
     """Build the report and write it to ``path``; returns the text."""
-    text = build_report(context or ExperimentContext())
+    text = build_report(context or ExperimentContext(), observation=observation)
     with open(os.fspath(path), "w", encoding="utf-8") as handle:
         handle.write(text)
     return text

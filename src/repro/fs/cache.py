@@ -78,12 +78,25 @@ class BlockCache:
         #: ``_dirty`` is insertion-ordered, and blocks are inserted with
         #: the (monotonic) simulated clock, so iteration order is also
         #: ``dirty_since`` order and age queries can stop early.  The
-        #: newest stamp detects a non-monotonic caller, which drops the
-        #: invariant and falls back to the full scan.
+        #: newest stamp detects a non-monotonic caller; the offending
+        #: blocks are tracked individually so the early exit returns as
+        #: soon as they clean, instead of only when the dirty set fully
+        #: drains.
         self._newest_dirty_since = float("-inf")
-        self._dirty_in_order = True
+        #: Dirty blocks whose stamp broke the insertion-order invariant.
+        #: While non-empty, age queries fall back to the full scan.
+        self._out_of_order: set[BlockKey] = set()
+        #: Dirty blocks evicted without a write-back (``evict_lru`` with
+        #: ``allow_dirty``); feeds the oracle's dirty-byte conservation.
+        self.dirty_evictions = 0
         #: Per-file index so deletes/recalls don't scan the whole cache.
         self._by_file: dict[int, set[BlockKey]] = {}
+
+    @property
+    def _dirty_in_order(self) -> bool:
+        """True while ``_dirty`` iteration order is ``dirty_since`` order
+        (no out-of-order stamps outstanding), enabling the early exit."""
+        return not self._out_of_order
 
     # --- inspection -----------------------------------------------------------
 
@@ -182,7 +195,10 @@ class BlockCache:
             if now >= self._newest_dirty_since:
                 self._newest_dirty_since = now
             else:
-                self._dirty_in_order = False
+                # A backdated stamp: only this block violates the
+                # iteration-order invariant.  The early exit resumes as
+                # soon as every such block is cleaned or removed.
+                self._out_of_order.add(key)
         block.last_referenced = now
         block.migrated = block.migrated or migrated
         self._blocks.move_to_end(key)
@@ -194,8 +210,8 @@ class BlockCache:
             raise CacheError(f"clean of non-dirty block {key}")
         block.dirty = False
         block.dirty_since = -1.0
+        self._out_of_order.discard(key)
         if not self._dirty:
-            self._dirty_in_order = True
             self._newest_dirty_since = float("-inf")
 
     def remove(self, key: BlockKey) -> CacheBlock:
@@ -203,9 +219,10 @@ class BlockCache:
         block = self._blocks.pop(key, None)
         if block is None:
             raise CacheError(f"remove of non-resident block {key}")
-        if self._dirty.pop(key, None) is not None and not self._dirty:
-            self._dirty_in_order = True
-            self._newest_dirty_since = float("-inf")
+        if self._dirty.pop(key, None) is not None:
+            self._out_of_order.discard(key)
+            if not self._dirty:
+                self._newest_dirty_since = float("-inf")
         keys = self._by_file.get(key[0])
         if keys is not None:
             keys.discard(key)
@@ -213,17 +230,28 @@ class BlockCache:
                 del self._by_file[key[0]]
         return block
 
-    def evict_lru(self) -> CacheBlock:
+    def evict_lru(self, allow_dirty: bool = False) -> CacheBlock:
         """Evict the least recently used block.
 
         With such long cache lifetimes dirty blocks have almost always
         been written back before they reach the LRU end; if the LRU
         block *is* dirty, the caller is responsible for writing it back
-        first (the paper notes this is rare).
+        first (the paper notes this is rare).  Evicting a dirty block
+        therefore raises :class:`CacheError` unless the caller passes
+        ``allow_dirty=True``, which books the lost data in
+        :attr:`dirty_evictions` so the oracle's dirty-byte conservation
+        check still balances.
         """
         block = self.lru_block()
         if block is None:
             raise CacheError("evict from an empty cache")
+        if block.dirty:
+            if not allow_dirty:
+                raise CacheError(
+                    f"evict_lru would drop dirty block {block.key}; write it "
+                    "back first or pass allow_dirty=True"
+                )
+            self.dirty_evictions += 1
         return self.remove(block.key)
 
     def clear(self) -> list[CacheBlock]:
@@ -233,7 +261,7 @@ class BlockCache:
         self._blocks.clear()
         self._dirty.clear()
         self._by_file.clear()
-        self._dirty_in_order = True
+        self._out_of_order.clear()
         self._newest_dirty_since = float("-inf")
         return victims
 

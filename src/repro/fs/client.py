@@ -67,6 +67,9 @@ class ClientKernel:
         )
         self.counters = ClientCounters()
         self.cache = BlockCache(config.block_size)
+        #: Optional observability hook (repro.obs); every use is guarded
+        #: so None (the default) leaves all code paths untouched.
+        self.obs = None
         self._known_version: dict[int, int] = {}
         self._uncacheable: set[int] = set()
         self._daemon = RecurringTimer(
@@ -163,12 +166,18 @@ class ClientKernel:
         if wait <= faults.rpc_timeout or not data_op or faults.degraded_mode == "stall":
             self.counters.rpc_retries += self.transport.outage_resend_loop(wait)
             self.counters.stall_seconds += wait
+            if self.obs is not None:
+                self.obs.on_stall(now, self.client_id, wait, "outage")
             return True
         self.counters.rpc_retries += self.transport.outage_resend_loop(
             faults.rpc_timeout
         )
         self.counters.stall_seconds += faults.rpc_timeout
         self.counters.rpc_failed_ops += 1
+        if self.obs is not None:
+            self.obs.on_stall(
+                now, self.client_id, faults.rpc_timeout, "timeout"
+            )
         return False
 
     def crash(self, now: float) -> None:
@@ -392,6 +401,8 @@ class ClientKernel:
                 self.counters.migrated_read_misses += 1
                 self.counters.migrated_read_miss_bytes += overlap
             self.transport.call(now, "fetch_block", file_id, index, overlap)
+            if self.obs is not None:
+                self.obs.on_block_fetch(now, self.client_id, file_id, index, overlap)
             self._make_room(now)
             block = self.cache.insert(key, now, migrated=migrated)
             block.written_end = block_size  # a fetched block is full
@@ -454,6 +465,10 @@ class ClientKernel:
                     if migrated:
                         self.counters.migrated_write_fetch_ops += 1
                     self.transport.call(now, "fetch_block", file_id, index, block_size)
+                    if self.obs is not None:
+                        self.obs.on_block_fetch(
+                            now, self.client_id, file_id, index, block_size
+                        )
                     self._make_room(now)
                     block = self.cache.insert(key, now, migrated=migrated)
                     block.written_end = block_size
@@ -537,6 +552,8 @@ class ClientKernel:
         age = max(0.0, now - victim.last_referenced)
         self.counters.blocks_replaced_for_file += 1
         self.counters.replace_age_sum_file += age
+        if self.obs is not None:
+            self.obs.on_evict(now, self.client_id, "for_file", age)
         self.cache.remove(victim.key)
 
     def surrender_pages(self, now: float, pages: int) -> int:
@@ -557,6 +574,8 @@ class ClientKernel:
             age = max(0.0, now - victim.last_referenced)
             self.counters.blocks_replaced_for_vm += 1
             self.counters.replace_age_sum_vm += age
+            if self.obs is not None:
+                self.obs.on_evict(now, self.client_id, "for_vm", age)
             self.cache.remove(victim.key)
             self.vm.release_from_cache(1)
             surrendered += 1
@@ -609,6 +628,10 @@ class ClientKernel:
         else:
             self.counters.blocks_cleaned_vm += 1
             self.counters.clean_age_sum_vm += age
+        if self.obs is not None:
+            self.obs.on_writeback(
+                now, self.client_id, reason.value, age, nbytes
+            )
         self.cache.mark_clean(block.key)
 
     def _discard_stale_blocks(self, file_id: int) -> None:

@@ -82,6 +82,11 @@ class Cluster:
     ``oracle`` attaches a :class:`~repro.fs.oracle.ProtocolOracle` to
     every client's RPC transport; its dirty-conservation sweep runs once
     after the final snapshot.
+
+    ``obs`` attaches a :class:`~repro.obs.observer.Observation`: counter
+    sampling, event tracing, and latency histograms.  Observation is
+    read-only -- the replay's counters and tables are identical with it
+    on or off (and with it off, not a single obs code path runs).
     """
 
     def __init__(
@@ -90,12 +95,14 @@ class Cluster:
         seed: int = 7,
         fault_schedule: FaultSchedule | None = None,
         oracle: ProtocolOracle | None = None,
+        obs=None,
     ) -> None:
         self.config = config
         self.engine = Engine()
         self.rng = RngStream.root(seed).fork("cluster")
         self._fault_schedule = fault_schedule
         self.oracle = oracle
+        self.obs = obs
         self.server = Server(config.server_memory, config.block_size)
         self.server.on_cacheability_change = self._cacheability_changed
 
@@ -144,6 +151,8 @@ class Cluster:
         self._snapshot_timer.start()
         self._opens: dict[int, _OpenState] = {}
         self._records = 0
+        if obs is not None:
+            obs.attach(self)
 
     # --- plumbing ------------------------------------------------------------
 
@@ -177,6 +186,8 @@ class Cluster:
         protocol, in client order (deterministic)."""
         now = self.engine.now
         self.server.recover(now)
+        if self.obs is not None:
+            self.obs.on_fault_recovered(now, "server_crash", -1)
         for client in self.clients:
             client.on_server_recovered(now)
 
@@ -188,12 +199,20 @@ class Cluster:
 
     def reboot_client(self, client: ClientKernel) -> None:
         client.reboot(self.engine.now)
+        if self.obs is not None:
+            self.obs.on_fault_recovered(
+                self.engine.now, "client_crash", client.client_id
+            )
 
     def partition_client(self, client: ClientKernel, until: float) -> None:
         client.partition(self.engine.now, until)
 
     def heal_client(self, client: ClientKernel) -> None:
         client.heal_partition(self.engine.now)
+        if self.obs is not None:
+            self.obs.on_fault_recovered(
+                self.engine.now, "partition", client.client_id
+            )
 
     # --- record dispatch ---------------------------------------------------------
 
@@ -306,6 +325,10 @@ class Cluster:
         self._take_snapshots()  # final reading
         if self.oracle is not None:
             self.oracle.final_check(self.engine.now, self.clients)
+        if self.obs is not None:
+            # After the final snapshot, so the closing sample carries
+            # the same refreshed gauges the result does.
+            self.obs.finalize(self.engine.now)
         return ClusterResult(
             config=self.config,
             duration=duration,
@@ -325,10 +348,11 @@ def run_cluster_on_trace(
     seed: int = 7,
     fault_schedule: FaultSchedule | None = None,
     oracle: ProtocolOracle | None = None,
+    obs=None,
 ) -> ClusterResult:
     """Convenience wrapper: build a cluster and replay one trace."""
     cluster = Cluster(
         config or ClusterConfig(), seed=seed, fault_schedule=fault_schedule,
-        oracle=oracle,
+        oracle=oracle, obs=obs,
     )
     return cluster.replay(records, duration)

@@ -88,7 +88,11 @@ class ClientCounters:
     rpc_messages_sent: int = 0  # packets offered to the lossy channel
     rpc_retransmissions: int = 0  # resends after a lost request or reply
     rpc_replies_lost: int = 0  # request executed but its reply dropped
-    rpc_delay_seconds: float = 0.0  # channel-delay stall (also in stall_seconds)
+    # Channel-delay stall.  This is a *component* of stall_seconds, not
+    # an addition to it: every second booked here was also booked there.
+    # Consumers must report one or the other, never their sum (see
+    # backoff_stall_seconds for the complement).
+    rpc_delay_seconds: float = 0.0
     reopen_rpcs: int = 0  # recovery: re-register open files
     revalidate_rpcs: int = 0  # recovery: version-check cached files
     blocks_invalidated_on_recovery: int = 0  # failed re-validation
@@ -168,6 +172,20 @@ class ClientCounters:
             + self.lost_dirty_blocks
             + self.dirty_blocks_resident
         )
+
+    @property
+    def backoff_stall_seconds(self) -> float:
+        """Stall time NOT explained by channel transit delay.
+
+        ``stall_seconds`` is the total process-seconds spent waiting for
+        the server; ``rpc_delay_seconds`` is the subset caused by the
+        lossy channel delaying packets in flight.  The remainder is
+        retransmission backoff and outage waits.  Because the two raw
+        counters overlap, adding them double-counts: report
+        ``stall_seconds`` alone for totals, or split it as
+        ``rpc_delay_seconds`` + ``backoff_stall_seconds``.
+        """
+        return max(0.0, self.stall_seconds - self.rpc_delay_seconds)
 
     @property
     def server_bytes(self) -> int:

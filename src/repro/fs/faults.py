@@ -307,12 +307,18 @@ class FaultInjector:
 
     def arm(self) -> None:
         engine = self._cluster.engine
+        obs = getattr(self._cluster, "obs", None)
         for event in self.schedule.events:
             engine.schedule_at(event.time, _Apply(self, event))
+            if obs is not None:
+                obs.on_fault_armed(event)
 
     def apply(self, event: FaultEvent) -> None:
         cluster = self._cluster
         self.injected += 1
+        obs = getattr(cluster, "obs", None)
+        if obs is not None:
+            obs.on_fault_fired(cluster.engine.now, event)
         if event.kind is FaultKind.SERVER_CRASH:
             cluster.crash_server(event.end_time)
             cluster.engine.schedule_at(event.end_time, cluster.recover_server)

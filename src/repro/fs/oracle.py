@@ -78,6 +78,9 @@ class ProtocolOracle:
         self.raise_on_violation = raise_on_violation
         self.violations: list[Violation] = []
         self.checks_run = 0
+        #: Optional observation hub (repro.obs); when set, every check
+        #: and violation is mirrored into the event trace.
+        self.obs: Any | None = None
         #: (client_id, seq) -> executions; seq -1 (fast path) is untracked.
         self._executed: set[tuple[int, int]] = set()
         #: file_id -> highest version stamp ever observed.
@@ -88,6 +91,8 @@ class ProtocolOracle:
             invariant=invariant, time=time, seed=self.seed, details=details
         )
         self.violations.append(violation)
+        if self.obs is not None:
+            self.obs.on_oracle_violation(time, invariant, details)
         if self.raise_on_violation:
             raise InvariantViolation(violation)
 
@@ -99,6 +104,8 @@ class ProtocolOracle:
     ) -> None:
         """Called by the server endpoint after executing a request."""
         self.checks_run += 1
+        if self.obs is not None:
+            self.obs.on_oracle_check(now, "execute", client_id, op)
         if seq >= 0:
             key = (client_id, seq)
             if key in self._executed:
@@ -127,6 +134,8 @@ class ProtocolOracle:
     ) -> None:
         """Called after a server callback is delivered to a client."""
         self.checks_run += 1
+        if self.obs is not None:
+            self.obs.on_oracle_check(now, "callback", client.client_id, kind)
         if kind == "recall":
             leftover = client.cache.dirty_blocks_of_file(file_id)
             if leftover:
@@ -150,11 +159,16 @@ class ProtocolOracle:
         """Dirty-byte conservation, checked once the replay settles."""
         for client in clients:
             self.checks_run += 1
+            if self.obs is not None:
+                self.obs.on_oracle_check(
+                    now, "final", client.client_id, "dirty-byte-conservation"
+                )
             counters = client.counters
             accounted = (
                 counters.blocks_cleaned_total
                 + counters.dirty_blocks_discarded
                 + counters.lost_dirty_blocks
+                + client.cache.dirty_evictions
                 + client.cache.dirty_count
             )
             if accounted != counters.blocks_dirtied:
@@ -164,7 +178,8 @@ class ProtocolOracle:
                     f"{counters.blocks_dirtied} blocks but accounts for "
                     f"{accounted} (cleaned {counters.blocks_cleaned_total}, "
                     f"discarded {counters.dirty_blocks_discarded}, lost "
-                    f"{counters.lost_dirty_blocks}, resident "
+                    f"{counters.lost_dirty_blocks}, dirty-evicted "
+                    f"{client.cache.dirty_evictions}, resident "
                     f"{client.cache.dirty_count})",
                 )
 

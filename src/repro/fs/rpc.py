@@ -418,6 +418,9 @@ class RpcTransport:
         self._seq = 0
         #: Fast path: no message faults and no oracle to notify.
         self._direct = not self.channel.lossy and oracle is None
+        #: Optional observability hook (repro.obs); None keeps call()
+        #: on its unobserved paths, byte-identical to an obs-free build.
+        self.obs = None
 
     @property
     def oracle(self) -> "ProtocolOracle | None":
@@ -425,9 +428,30 @@ class RpcTransport:
 
     def call(self, now: float, op: str, *args: Any) -> Any:
         """Issue one RPC and return its reply (at-most-once executed)."""
+        if self.obs is not None:
+            return self._call_observed(now, op, args)
         if self._direct:
             return self.endpoint.execute(now, self.client.client_id, op, args)
         return self._call_messaged(now, op, args)
+
+    def _call_observed(self, now: float, op: str, args: tuple) -> Any:
+        """The observed path: measure the round-trip as the stall this
+        call books (channel delays + backoff; zero on the direct path,
+        where the reply is logically instantaneous) and mirror it into
+        the latency histogram and the event trace."""
+        counters = self.client.counters
+        stall_before = counters.stall_seconds
+        retrans_before = counters.rpc_retransmissions
+        if self._direct:
+            reply = self.endpoint.execute(now, self.client.client_id, op, args)
+        else:
+            reply = self._call_messaged(now, op, args)
+        self.obs.on_rpc_call(
+            now, self.client.client_id, op,
+            counters.stall_seconds - stall_before,
+            counters.rpc_retransmissions - retrans_before,
+        )
+        return reply
 
     def _call_messaged(self, now: float, op: str, args: tuple) -> Any:
         counters = self.client.counters
@@ -446,6 +470,10 @@ class RpcTransport:
             message.attempt = attempt
             if attempt > 0:
                 counters.rpc_retransmissions += 1
+                if self.obs is not None:
+                    self.obs.on_rpc_retransmit(
+                        now, self.client.client_id, op, attempt
+                    )
             outcome, copies, net_delay = channel.transmit(message)
             if channel.lossy:
                 counters.rpc_messages_sent += 1
@@ -469,6 +497,10 @@ class RpcTransport:
                             counters.stall_seconds += reply_delay
                         return reply
                     counters.rpc_replies_lost += 1
+                    if self.obs is not None:
+                        self.obs.on_rpc_reply_lost(
+                            now, self.client.client_id, op
+                        )
                 # No reply (lost, straggled, or a stale drop): fall
                 # through to the retransmission path below.
             if attempt + 1 >= MAX_ATTEMPTS:

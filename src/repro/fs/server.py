@@ -73,6 +73,9 @@ class Server:
         #: ``down_until``, then run the reopen protocol.
         self.up = True
         self.down_until = 0.0
+        #: Optional observability hook (repro.obs); every use is guarded
+        #: so None (the default) leaves all code paths untouched.
+        self.obs = None
 
     def register_client(self, client: "ClientKernel") -> None:
         if client.client_id in self._clients:
@@ -105,6 +108,10 @@ class Server:
                 if writer.reachable(now):
                     writer.receive_recall(now, file_id)
                     self.counters.recalls_issued += 1
+                    if self.obs is not None:
+                        self.obs.on_recall(
+                            now, state.last_writer, file_id, client_id
+                        )
                     recalled = True
                     state.last_writer = -1
                 else:
@@ -161,6 +168,8 @@ class Server:
         state.uncacheable = not cacheable
         if not cacheable:
             self.counters.cache_disables += 1
+        if self.obs is not None:
+            self.obs.on_cacheability_change(file_id, cacheable)
         if self.on_cacheability_change is not None:
             self.on_cacheability_change(file_id, cacheable)
 

@@ -1,0 +1,92 @@
+"""Latency histograms for the observability layer.
+
+Three latency populations matter to the reproduction's "beyond the
+paper" studies and get a histogram each (reusing
+:class:`repro.common.stats.Histogram` over geometric bucket edges, the
+same shape as the paper's log-scale figures):
+
+* **RPC round-trips** -- wall-clock from a transport ``call`` to its
+  reply, as seen by the calling client (zero on the inert fast path, so
+  only lossy runs populate it);
+* **write-back ages** -- how old dirty data was when it reached the
+  server (the paper's 30-second-delay policy bounds this near 35 s for
+  the delay daemon; fsyncs and recalls land younger);
+* **recovery stalls** -- process-seconds a client spent waiting out a
+  server outage or retransmission backoff.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.common.stats import Histogram, RunningStat, geometric_edges
+
+
+class LatencyHistograms:
+    """The three latency histograms plus summary stats for each."""
+
+    #: name -> (edge_start, edge_stop, per_decade)
+    SPECS: dict[str, tuple[float, float, int]] = {
+        # 1 ms to 60 s: channel delays are ~tens of ms, backoff caps at
+        # seconds, the eventually-reliable floor bounds the tail.
+        "rpc_round_trip_seconds": (1e-3, 60.0, 4),
+        # 1 s to 2 h: the 30-s daemon dominates; recovery replays of
+        # blocks dirtied before a long outage form the tail.
+        "writeback_age_seconds": (1.0, 7200.0, 4),
+        # 10 ms to ~3 h: a single backoff wait up to whole outages.
+        "recovery_stall_seconds": (1e-2, 10_000.0, 4),
+    }
+
+    def __init__(self) -> None:
+        self.histograms: dict[str, Histogram] = {
+            name: Histogram(edges=geometric_edges(start, stop, per_decade))
+            for name, (start, stop, per_decade) in self.SPECS.items()
+        }
+        self.stats: dict[str, RunningStat] = {
+            name: RunningStat() for name in self.SPECS
+        }
+
+    def add(self, name: str, value: float) -> None:
+        """Record one latency sample (negative values are clamped: they
+        can only come from float error in a time subtraction)."""
+        value = max(0.0, value)
+        self.histograms[name].add(value)
+        self.stats[name].add(value)
+
+    def items(self) -> Iterator[tuple[str, Histogram]]:
+        return iter(self.histograms.items())
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready form for the ``BENCH_obs.json`` artifact."""
+        out: dict[str, Any] = {}
+        for name, histogram in self.histograms.items():
+            stat = self.stats[name]
+            out[name] = {
+                "count": stat.count,
+                "mean": stat.mean,
+                "stddev": stat.stddev,
+                "min": stat.minimum if stat.count else None,
+                "max": stat.maximum if stat.count else None,
+                "edges": list(histogram.edges),
+                "counts": list(histogram.counts),
+            }
+        return out
+
+    def render(self) -> str:
+        """A compact text block for the experiment report."""
+        lines = ["Latency histograms (repro.obs)"]
+        for name, histogram in self.histograms.items():
+            stat = self.stats[name]
+            if stat.count == 0:
+                lines.append(f"  {name}: no samples")
+                continue
+            lines.append(
+                f"  {name}: n={stat.count} mean={stat.mean:.4g}s "
+                f"sd={stat.stddev:.4g}s min={stat.minimum:.4g}s "
+                f"max={stat.maximum:.4g}s"
+            )
+            # The occupied buckets only; a full geometric grid is noise.
+            for edge, mass in histogram.buckets():
+                if mass:
+                    lines.append(f"    <= {edge:10.4g}s  {int(mass)}")
+        return "\n".join(lines)

@@ -26,6 +26,8 @@ Payloads are tagged by their first byte:
   close records); the fallback when no trace context is available.
 * ``R`` -- a :class:`~repro.fs.cluster.ClusterResult` (row-packed
   counter snapshots, pickled config).
+* ``O`` -- a :class:`~repro.obs.sampler.CounterTimeseries` (per-machine
+  sample tables, pure marshal -- no pickle at all).
 * ``P`` -- anything else, plain pickle.
 """
 
@@ -43,6 +45,7 @@ from typing import Any, Callable, Sequence
 from repro.analysis.episodes import Access, LogicalRun
 from repro.fs.cluster import ClusterResult
 from repro.fs.counters import ClientCounters, CounterSnapshot, ServerCounters
+from repro.obs.sampler import CounterTimeseries
 from repro.trace.records import TraceRecord
 from repro.workload.generator import SyntheticTrace
 
@@ -51,6 +54,7 @@ _TAG_TRACE = b"T"
 _TAG_ACCESSES = b"A"
 _TAG_ACCESSES_INDEXED = b"I"
 _TAG_REPLAY = b"R"
+_TAG_OBS = b"O"
 
 #: marshal format version (stable, supported by every CPython we target).
 _MARSHAL_VERSION = 2
@@ -426,6 +430,21 @@ def _decode_replay(body: bytes) -> ClusterResult:
 
 
 # --------------------------------------------------------------------------
+# counter timeseries (repro.obs)
+# --------------------------------------------------------------------------
+
+
+def _encode_timeseries(timeseries: CounterTimeseries) -> bytes:
+    # The payload is primitives all the way down (field-name tuples,
+    # time lists, value-row tuples), so marshal carries it whole.
+    return _TAG_OBS + marshal.dumps(timeseries.to_payload(), _MARSHAL_VERSION)
+
+
+def _decode_timeseries(body: bytes) -> CounterTimeseries:
+    return CounterTimeseries.from_payload(marshal.loads(body))
+
+
+# --------------------------------------------------------------------------
 # entry points
 # --------------------------------------------------------------------------
 
@@ -440,6 +459,8 @@ def encode_artifact(artifact: Any, context: dict[str, Any] | None = None) -> byt
         return _encode_trace(artifact)
     if isinstance(artifact, ClusterResult):
         return _encode_replay(artifact)
+    if isinstance(artifact, CounterTimeseries):
+        return _encode_timeseries(artifact)
     if (
         isinstance(artifact, list)
         and artifact
@@ -473,6 +494,8 @@ def decode_artifact(payload: bytes, context: dict[str, Any] | None = None) -> An
         return _decode_accesses_indexed(body, context["records"])
     if tag == _TAG_ACCESSES:
         return _decode_accesses(body)
+    if tag == _TAG_OBS:
+        return _decode_timeseries(body)
     if tag == _TAG_PICKLE:
         with _gc_paused():
             return pickle.loads(body)

@@ -76,6 +76,14 @@ class Engine:
         self._events_run = 0
         self._live = 0  # scheduled, not yet fired, not cancelled
         self._stale = 0  # cancelled events still sitting in the heap
+        #: Optional observability hook (repro.obs): notified after each
+        #: fired event.  None by default -- one predictable branch per
+        #: event is the whole cost of the inert path.
+        self._observer = None
+
+    def attach_observer(self, observer) -> None:
+        """Attach an object with ``on_engine_event(time)`` (repro.obs)."""
+        self._observer = observer
 
     @property
     def now(self) -> float:
@@ -161,6 +169,8 @@ class Engine:
             self._now = event.time
             self._events_run += 1
             event.callback()
+            if self._observer is not None:
+                self._observer.on_engine_event(event.time)
         self._now = end_time
 
     def run_all(self, max_events: int = 10_000_000) -> None:
@@ -173,6 +183,8 @@ class Engine:
             self._now = event.time
             self._events_run += 1
             event.callback()
+            if self._observer is not None:
+                self._observer.on_engine_event(event.time)
             fired += 1
             if fired > max_events:
                 raise SchedulingError(

@@ -135,6 +135,33 @@ class TestBlockCache:
         cache.mark_dirty((1, 1), now=1.0)
         assert cache._dirty_in_order
 
+    def test_dirty_order_recovers_once_offender_leaves(self, cache):
+        """Regression: cleaning the one out-of-order block restores the
+        early-exit scan even while other blocks stay dirty.  The old
+        boolean flag stayed stuck until the whole dirty set drained."""
+        cache.insert((1, 0), now=0.0)
+        cache.insert((1, 1), now=0.0)
+        cache.insert((1, 2), now=0.0)
+        cache.mark_dirty((1, 0), now=20.0)
+        cache.mark_dirty((1, 1), now=5.0)  # the out-of-order stamp
+        cache.mark_dirty((1, 2), now=30.0)
+        assert not cache._dirty_in_order
+        cache.mark_clean((1, 1))  # offender leaves; (1,0),(1,2) stay dirty
+        assert cache.dirty_count == 2
+        assert cache._dirty_in_order
+        # ...and the early-exit scan is still correct.
+        assert [b.key for b in cache.dirty_blocks_older_than(25.0)] == [(1, 0)]
+
+    def test_dirty_order_recovers_when_offender_removed(self, cache):
+        cache.insert((1, 0), now=0.0)
+        cache.insert((1, 1), now=0.0)
+        cache.mark_dirty((1, 0), now=20.0)
+        cache.mark_dirty((1, 1), now=5.0)
+        assert not cache._dirty_in_order
+        cache.remove((1, 1))
+        assert cache.dirty_count == 1
+        assert cache._dirty_in_order
+
     def test_blocks_of_file_uses_index(self, cache):
         cache.insert((1, 0), now=0.0)
         cache.insert((1, 5), now=0.0)
@@ -169,8 +196,30 @@ class TestBlockCache:
     def test_evict_dirty_lru_clears_dirty_index(self, cache):
         cache.insert((1, 0), now=0.0)
         cache.mark_dirty((1, 0), now=1.0)
-        cache.evict_lru()
+        cache.evict_lru(allow_dirty=True)
         assert cache.dirty_count == 0
+
+    def test_evict_dirty_lru_refused_by_default(self, cache):
+        """Regression: evict_lru used to silently drop dirty (unwritten)
+        data; now it refuses unless the caller opts in."""
+        cache.insert((1, 0), now=0.0)
+        cache.mark_dirty((1, 0), now=1.0)
+        with pytest.raises(CacheError, match="dirty block"):
+            cache.evict_lru()
+        assert (1, 0) in cache  # nothing was dropped
+        assert cache.dirty_count == 1
+        assert cache.dirty_evictions == 0
+
+    def test_evict_dirty_lru_counts_dropped_bytes(self, cache):
+        cache.insert((1, 0), now=0.0)
+        cache.mark_dirty((1, 0), now=1.0)
+        cache.insert((1, 1), now=2.0)
+        victim = cache.evict_lru(allow_dirty=True)
+        assert victim.key == (1, 0)
+        assert cache.dirty_evictions == 1
+        # Clean LRU evictions never touch the counter.
+        cache.evict_lru()
+        assert cache.dirty_evictions == 1
 
     def test_bad_block_size_raises(self):
         with pytest.raises(CacheError):
@@ -207,6 +256,73 @@ class TestBlockCache:
         }
         assert indexed == set(cache._blocks)
         assert set(cache._dirty) <= set(cache._blocks)
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from([
+                    "insert", "touch", "remove", "dirty", "clean",
+                    "invalidate", "clear", "evict",
+                ]),
+                st.integers(min_value=0, max_value=4),
+                st.integers(min_value=0, max_value=4),
+                # Out-of-order dirty stamps get exercised too: offset
+                # can reach back before ``now``.
+                st.integers(min_value=-40, max_value=2),
+            ),
+            max_size=120,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_full_invariant_property(self, ops):
+        """Every structural invariant holds under arbitrary interleaving
+        of the whole public mutation surface, including backdated dirty
+        stamps, file invalidation, and dirty-opt-in eviction."""
+        cache = BlockCache(block_size=4096)
+        now = 0.0
+        for op, file_id, index, offset in ops:
+            now += 1.0
+            key = (file_id, index)
+            if op == "insert" and key not in cache:
+                cache.insert(key, now)
+            elif op == "touch" and key in cache:
+                cache.touch(key, now)
+            elif op == "remove" and key in cache:
+                cache.remove(key)
+            elif op == "dirty" and key in cache:
+                cache.mark_dirty(key, now + offset)
+            elif op == "clean" and key in cache and cache.get(key).dirty:
+                cache.mark_clean(key)
+            elif op == "invalidate":
+                cache.invalidate_file(file_id)
+            elif op == "clear":
+                cache.clear()
+            elif op == "evict" and len(cache):
+                cache.evict_lru(allow_dirty=True)
+
+            blocks = cache._blocks
+            # The per-file index exactly mirrors the block map.
+            indexed = {
+                k for keys in cache._by_file.values() for k in keys
+            }
+            assert indexed == set(blocks)
+            assert all(cache._by_file.values())  # no empty file buckets
+            # Dirty bookkeeping: the dirty dict matches the block flags.
+            flagged = {k for k, b in blocks.items() if b.dirty}
+            assert set(cache._dirty) == flagged
+            assert cache.dirty_count == len(flagged)
+            # Byte accounting.
+            assert cache.size_bytes == 4096 * len(blocks)
+            # The out-of-order set only names dirty-resident blocks.
+            assert cache._out_of_order <= set(cache._dirty)
+            # The age query equals a brute-force filter, in both modes.
+            for threshold in (now - 30.0, now + 1.0):
+                expected = [
+                    b for b in cache._dirty.values()
+                    if b.dirty_since <= threshold
+                ]
+                got = cache.dirty_blocks_older_than(threshold)
+                assert {b.key for b in got} == {b.key for b in expected}
 
 
 class TestVirtualMemory:
