@@ -1,0 +1,205 @@
+"""Per-server breakdowns for Tables 1, 2, and 7.
+
+The paper's cluster had **four** file servers, and Tables 1, 2, and 7
+report activity and server traffic per server.  With ``num_servers > 1``
+the simulator shards the file space across servers by the deterministic
+:class:`~repro.fs.sharding.Placement` hash, so the same breakdowns fall
+out of the traces and the replay counters:
+
+* **Table 1** -- route every trace record to its file's server and pool
+  each server's records across the traces, yielding one Table 1 column
+  per server instead of per trace.
+* **Table 2** -- run the user-activity computation on each server's
+  record stream, yielding per-server throughput columns.
+* **Table 7** -- aggregate each shard's :class:`ServerCounters` across
+  the replayed traces and report the traffic mix one column per server.
+
+Records that carry no file (``file_id < 0``, e.g. a client picking a
+directory) land on server 0, matching the placement function.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.table1 import TraceStatistics, compute_table1, render_table1
+from repro.analysis.activity import ActivityResult, compute_activity
+from repro.common.render import format_number, render_table
+from repro.common.units import MB
+from repro.fs.counters import ServerCounters
+from repro.fs.sharding import Placement
+from repro.trace.records import TraceRecord
+
+
+def shard_records(
+    records: Iterable[TraceRecord], placement: Placement
+) -> list[list[TraceRecord]]:
+    """Split one trace's records by the server their file lives on.
+
+    Order within each shard is trace order, so every downstream
+    computation stays deterministic.
+    """
+    shards: list[list[TraceRecord]] = [
+        [] for _ in range(placement.num_servers)
+    ]
+    shard_of = placement.shard_of
+    for record in records:
+        file_id = getattr(record, "file_id", -1)
+        shards[shard_of(file_id)].append(record)
+    return shards
+
+
+def per_server_table1(
+    traces: Sequence, placement: Placement
+) -> list[TraceStatistics]:
+    """One pooled Table 1 row-set per server, across all traces."""
+    total_duration = sum(trace.duration for trace in traces)
+    per_server_records: list[list[TraceRecord]] = [
+        [] for _ in range(placement.num_servers)
+    ]
+    for trace in traces:
+        for server_id, records in enumerate(
+            shard_records(trace.records, placement)
+        ):
+            per_server_records[server_id].extend(records)
+    return [
+        compute_table1(f"server {server_id}", records, total_duration)
+        for server_id, records in enumerate(per_server_records)
+    ]
+
+
+def render_table1_per_server(
+    traces: Sequence, placement: Placement
+) -> str:
+    return render_table1(
+        per_server_table1(traces, placement),
+        title="Table 1a. Overall statistics per server "
+        f"(num_servers={placement.num_servers})",
+        note=(
+            "Each column pools all traces' records routed to one server "
+            "by the seeded file placement hash (the paper's cluster had "
+            "four servers)."
+        ),
+    )
+
+
+def per_server_activity(
+    traces: Sequence, placement: Placement
+) -> list[ActivityResult]:
+    """The Table 2 computation run once per server's record stream."""
+    per_server: list[ActivityResult] = []
+    shards_by_trace = [shard_records(t.records, placement) for t in traces]
+    for server_id in range(placement.num_servers):
+        per_server.append(
+            compute_activity(
+                (shards[server_id], trace.duration)
+                for trace, shards in zip(traces, shards_by_trace)
+            )
+        )
+    return per_server
+
+
+#: Table 2 per-server rows: label plus accessor path into ActivityResult.
+_ACTIVITY_ROWS: tuple[tuple[str, str, str], ...] = (
+    ("[10-minute] Average active users", "ten_minute_all", "average_active_users"),
+    ("[10-minute] Avg user throughput (KB/s)", "ten_minute_all", "average_throughput_kbs"),
+    ("[10-second] Average active users", "ten_second_all", "average_active_users"),
+    ("[10-second] Avg user throughput (KB/s)", "ten_second_all", "average_throughput_kbs"),
+    ("[10-second] Peak user throughput (KB/s)", "ten_second_all", "peak_user_throughput_kbs"),
+    ("[10-second] Peak total throughput (KB/s)", "ten_second_all", "peak_total_throughput_kbs"),
+)
+
+
+def render_table2_per_server(
+    traces: Sequence, placement: Placement
+) -> str:
+    per_server = per_server_activity(traces, placement)
+    headers = ["Measure"] + [
+        f"server {server_id}" for server_id in range(placement.num_servers)
+    ]
+    rows = []
+    for label, scale_attr, value_attr in _ACTIVITY_ROWS:
+        row = [label]
+        for result in per_server:
+            value = getattr(getattr(result, scale_attr), value_attr)
+            row.append(format_number(float(value), 1))
+        rows.append(row)
+    return render_table(
+        "Table 2a. User activity per server "
+        f"(num_servers={placement.num_servers})",
+        headers,
+        rows,
+        note=(
+            "A user is active on a server in an interval if any of their "
+            "records routed to that server falls inside it."
+        ),
+    )
+
+
+#: Table 7 per-server rows: label plus a value function of ServerCounters.
+_TRAFFIC_ROWS: tuple[tuple[str, str], ...] = (
+    ("RPCs handled", "rpc_count"),
+    ("Open RPCs", "open_rpcs"),
+    ("Block reads (Mbytes)", "block_read_bytes"),
+    ("Block writes (Mbytes)", "block_write_bytes"),
+    ("Passthrough (Mbytes)", "_passthrough_bytes"),
+    ("Paging (Mbytes)", "paging_bytes"),
+    ("Recalls issued", "recalls_issued"),
+    ("Cache disables", "cache_disables"),
+    ("Crashes", "crashes"),
+    ("Downtime (seconds)", "downtime_seconds"),
+)
+
+_MBYTE_ATTRS = frozenset(
+    {"block_read_bytes", "block_write_bytes", "_passthrough_bytes",
+     "paging_bytes"}
+)
+
+
+def _traffic_value(counters: ServerCounters, attr: str) -> float:
+    if attr == "_passthrough_bytes":
+        value: float = (
+            counters.passthrough_read_bytes + counters.passthrough_write_bytes
+        )
+    else:
+        value = getattr(counters, attr)
+    if attr in _MBYTE_ATTRS:
+        value /= MB
+    return float(value)
+
+
+def aggregate_per_server(
+    results: Sequence,
+) -> list[ServerCounters]:
+    """Sum each shard's counters across a set of cluster replays."""
+    num_servers = len(results[0].per_server_counters)
+    return [
+        ServerCounters.aggregate(
+            result.per_server_counters[server_id] for result in results
+        )
+        for server_id in range(num_servers)
+    ]
+
+
+def render_table7_per_server(results: Sequence) -> str:
+    per_server = aggregate_per_server(results)
+    headers = ["Type"] + [
+        f"server {server_id}" for server_id in range(len(per_server))
+    ]
+    rows = []
+    for label, attr in _TRAFFIC_ROWS:
+        row = [label]
+        for counters in per_server:
+            row.append(format_number(_traffic_value(counters, attr), 1))
+        rows.append(row)
+    return render_table(
+        "Table 7a. Server traffic per server "
+        f"(num_servers={len(per_server)})",
+        headers,
+        rows,
+        note=(
+            "Counters summed over the replayed traces; byte columns are "
+            "Mbytes at the server, after client caches filtered the "
+            "traffic."
+        ),
+    )

@@ -117,8 +117,19 @@ _ROWS: tuple[tuple[str, str], ...] = (
 )
 
 
-def render_table1(per_trace: list[TraceStatistics]) -> str:
-    """Render all traces side by side, like the paper's Table 1."""
+def render_table1(
+    per_trace: list[TraceStatistics],
+    title: str = "Table 1. Overall trace statistics",
+    note: str | None = (
+        "Synthetic traces; totals scale with the generation `scale` "
+        "factor (multiply by 1/scale to compare with the paper)."
+    ),
+) -> str:
+    """Render all traces side by side, like the paper's Table 1.
+
+    The per-server breakdown reuses the same renderer with one
+    *server's* pooled statistics per column instead of one trace's.
+    """
     headers = ["Statistic"] + [stats.name for stats in per_trace]
     rows = []
     for label, attr in _ROWS:
@@ -127,12 +138,4 @@ def render_table1(per_trace: list[TraceStatistics]) -> str:
             value = getattr(stats, attr)
             row.append(format_number(float(value), 1))
         rows.append(row)
-    return render_table(
-        "Table 1. Overall trace statistics",
-        headers,
-        rows,
-        note=(
-            "Synthetic traces; totals scale with the generation `scale` "
-            "factor (multiply by 1/scale to compare with the paper)."
-        ),
-    )
+    return render_table(title, headers, rows, note=note)

@@ -40,6 +40,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=1991, help="random seed (default 1991)"
     )
     parser.add_argument(
+        "--num-servers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the simulated cluster across N file servers (the "
+        "paper's cluster had 4); with N > 1, Tables 1/2/7 gain a "
+        "per-server breakdown (default 1)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -97,6 +106,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.workers < 0:
         parser.error(f"--workers must be >= 0, got {args.workers}")
+    if args.num_servers < 1:
+        parser.error(f"--num-servers must be >= 1, got {args.num_servers}")
     if not args.obs:
         if args.obs_sample_interval is not None:
             parser.error("--obs-sample-interval requires --obs")
@@ -111,7 +122,11 @@ def main(argv: list[str] | None = None) -> int:
     else:
         cache = args.cache_dir if args.cache_dir else True
     context = ExperimentContext(
-        scale=args.scale, seed=args.seed, workers=args.workers, cache=cache
+        scale=args.scale,
+        seed=args.seed,
+        num_servers=args.num_servers,
+        workers=args.workers,
+        cache=cache,
     )
     if args.figures_dir:
         from repro.experiments.report import export_figure_data

@@ -31,6 +31,11 @@ from repro.analysis.access_patterns import (
     render_table3,
 )
 from repro.analysis.table1 import render_table1
+from repro.analysis.sharded import (
+    render_table1_per_server,
+    render_table2_per_server,
+    render_table7_per_server,
+)
 from repro.caching import (
     compute_cache_sizes,
     compute_cleaning,
@@ -59,7 +64,7 @@ from repro.consistency.polling import render_table11
 from repro.consistency.schemes import render_table12
 from repro.experiments.expectations import PAPER_EXPECTATIONS
 from repro.common.rng import RngStream
-from repro.fs import ClusterConfig, FaultConfig, ProtocolOracle
+from repro.fs import ClusterConfig, FaultConfig, Placement, ProtocolOracle
 from repro.fs.cluster import ClusterResult, run_cluster_on_trace
 from repro.pipeline import (
     ArtifactCache,
@@ -106,10 +111,16 @@ class ExperimentContext:
     uses ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``), ``False``
     disables caching, a path selects a directory, and an
     :class:`~repro.pipeline.ArtifactCache` is used as-is.
+
+    ``num_servers`` shards the replayed cluster across that many file
+    servers (the paper's cluster had four); with more than one, Tables
+    1, 2, and 7 gain a per-server breakdown.  Ignored when an explicit
+    ``cluster_config`` is supplied (its own ``num_servers`` wins).
     """
 
     scale: float = 0.1
     seed: int = 1991
+    num_servers: int = 1
     #: Traces replayed through the cluster for Tables 4-9.  The paper's
     #: two-week counter collection reflects normal operation, so the
     #: default picks the non-simulation-dominated traces.
@@ -127,12 +138,29 @@ class ExperimentContext:
     def __post_init__(self) -> None:
         if self.scale <= 0:
             raise ConfigError(f"scale must be positive, got {self.scale}")
+        if self.num_servers < 1:
+            raise ConfigError(
+                f"num_servers must be >= 1, got {self.num_servers}"
+            )
         self._artifact_cache = resolve_cache(self.cache)
 
     @property
     def client_count(self) -> int:
         """Clients shrink with scale so per-client load stays realistic."""
         return max(4, round(40 * self.scale))
+
+    def base_cluster_config(self) -> ClusterConfig:
+        """The cluster config every Section 5 replay starts from."""
+        if self.cluster_config is not None:
+            return self.cluster_config
+        return ClusterConfig(
+            client_count=self.client_count, num_servers=self.num_servers
+        )
+
+    def placement(self) -> Placement:
+        """The file->server placement the replays shard by."""
+        config = self.base_cluster_config()
+        return Placement(config.num_servers, config.placement_seed)
 
     def _trace_tasks(self):
         return trace_tasks(self.scale, self.seed, self.client_count)
@@ -163,9 +191,7 @@ class ExperimentContext:
 
     def cluster_results(self) -> list[ClusterResult]:
         if self._cluster_results is None:
-            config = self.cluster_config or ClusterConfig(
-                client_count=self.client_count
-            )
+            config = self.base_cluster_config()
             self._cluster_results = build_cluster_results(
                 self.traces(),
                 self._trace_tasks(),
@@ -190,10 +216,14 @@ def _table1(ctx: ExperimentContext) -> ExperimentResult:
     ]
     total_opens = sum(s.open_events for s in stats)
     total_read = sum(s.mbytes_read for s in stats)
+    rendered = render_table1(stats)
+    placement = ctx.placement()
+    if placement.num_servers > 1:
+        rendered += "\n\n" + render_table1_per_server(ctx.traces(), placement)
     return ExperimentResult(
         experiment_id="table1",
         title="Table 1: overall trace statistics",
-        rendered=render_table1(stats),
+        rendered=rendered,
         metrics={
             "total_opens": float(total_opens),
             "total_mbytes_read": total_read,
@@ -209,10 +239,14 @@ def _table2(ctx: ExperimentContext) -> ExperimentResult:
     result = compute_activity(
         (t.records, t.duration) for t in ctx.traces()
     )
+    rendered = result.render()
+    placement = ctx.placement()
+    if placement.num_servers > 1:
+        rendered += "\n\n" + render_table2_per_server(ctx.traces(), placement)
     return ExperimentResult(
         experiment_id="table2",
         title="Table 2: user activity",
-        rendered=result.render(),
+        rendered=rendered,
         metrics={
             "avg_user_throughput_10min_kbs": result.ten_minute_all.average_throughput_kbs,
             "avg_user_throughput_10s_kbs": result.ten_second_all.average_throughput_kbs,
@@ -380,10 +414,14 @@ def _table7(ctx: ExperimentContext) -> ExperimentResult:
         if result.global_raw_bytes
         else 0.0
     )
+    rendered = result.render()
+    replays = ctx.cluster_results()
+    if replays and len(replays[0].per_server_counters) > 1:
+        rendered += "\n\n" + render_table7_per_server(replays)
     return ExperimentResult(
         experiment_id="table7",
         title="Table 7: server traffic",
-        rendered=result.render(),
+        rendered=rendered,
         metrics={
             "paging_share": result.shares["paging"].mean,
             "write_shared_share": result.shares["write_shared"].mean,
@@ -545,7 +583,7 @@ def _faults(ctx: ExperimentContext) -> ExperimentResult:
     trace_index = ctx.cluster_trace_indexes[0]
     trace = ctx.traces()[trace_index]
     trace_fields = ctx._trace_tasks()[trace_index].key_fields()
-    base = ctx.cluster_config or ClusterConfig(client_count=ctx.client_count)
+    base = ctx.base_cluster_config()
 
     labels: list[str] = []
     tasks: list[ReplayTask] = []
@@ -616,7 +654,7 @@ def _rpc_loss(ctx: ExperimentContext) -> ExperimentResult:
         activities.extend(extract_shared_activity(trace.records))
     trace_index = ctx.cluster_trace_indexes[0]
     cluster_trace = ctx.traces()[trace_index]
-    base = ctx.cluster_config or ClusterConfig(client_count=ctx.client_count)
+    base = ctx.base_cluster_config()
     study_seed = ctx.seed + 8191
     rng = RngStream.root(study_seed).fork("rpc-loss")
 
@@ -757,9 +795,7 @@ def run_observed_replay(
     context = context or ExperimentContext()
     index = context.cluster_trace_indexes[0] if trace_index is None else trace_index
     trace = context.traces()[index]
-    config = context.cluster_config or ClusterConfig(
-        client_count=context.client_count
-    )
+    config = context.base_cluster_config()
     # Match the replay-seed scheme of ``build_cluster_results``
     # (``seed + 101 * offset``) so the observed run's final counters are
     # byte-for-byte those of the corresponding table replay.

@@ -23,6 +23,7 @@ from repro.fs.counters import ClientCounters, CounterSnapshot, ServerCounters
 from repro.fs.cache import BlockCache, EvictionReason, CleanReason
 from repro.fs.vm import VirtualMemory
 from repro.fs.server import Server
+from repro.fs.sharding import Placement
 from repro.fs.client import ClientKernel
 from repro.fs.paging import PagingModel
 from repro.fs.cluster import Cluster, ClusterResult, run_cluster_on_trace
@@ -55,6 +56,7 @@ __all__ = [
     "CleanReason",
     "VirtualMemory",
     "Server",
+    "Placement",
     "ClientKernel",
     "PagingModel",
     "Cluster",

@@ -25,6 +25,8 @@ the server came back -- without advancing the global clock (see
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.common.errors import SimulationError
 from repro.common.rng import RngStream
 from repro.fs.cache import BlockCache, CacheBlock, CleanReason
@@ -33,6 +35,7 @@ from repro.fs.counters import ClientCounters
 from repro.fs.oracle import ProtocolOracle
 from repro.fs.rpc import RpcTransport
 from repro.fs.server import Server
+from repro.fs.sharding import Placement
 from repro.sim.engine import Engine
 from repro.sim.timers import RecurringTimer
 
@@ -40,11 +43,16 @@ from repro.sim.timers import RecurringTimer
 class ClientKernel:
     """One diskless Sprite client.
 
-    Every server interaction goes through :attr:`transport`
-    (:class:`~repro.fs.rpc.RpcTransport`): at-most-once RPC over a
-    seeded lossy channel.  ``channel_rng`` seeds that channel (may stay
-    ``None`` while the message-fault rates are zero); ``oracle``
-    attaches the protocol-invariant oracle.
+    Every server interaction goes through a per-shard
+    :class:`~repro.fs.rpc.RpcTransport`: at-most-once RPC over a seeded
+    lossy channel.  ``server`` may be a single :class:`Server` (the
+    classic cluster; also what most unit tests build) or the cluster's
+    list of shards, in which case ``placement`` routes each file's
+    traffic to its server and ``channel_rng`` may be a matching sequence
+    of streams.  ``oracle`` attaches the protocol-invariant oracle.
+
+    :attr:`server` and :attr:`transport` remain as shard-0 aliases so
+    single-server call sites read exactly as before.
     """
 
     def __init__(
@@ -52,19 +60,32 @@ class ClientKernel:
         client_id: int,
         config: ClusterConfig,
         engine: Engine,
-        server: Server,
+        server: Server | Sequence[Server],
         vm,
-        channel_rng: RngStream | None = None,
+        channel_rng: RngStream | Sequence[RngStream | None] | None = None,
         oracle: ProtocolOracle | None = None,
+        placement: Placement | None = None,
     ) -> None:
         self.client_id = client_id
         self.config = config
         self.engine = engine
-        self.server = server
-        self.vm = vm
-        self.transport = RpcTransport(
-            self, server, config.faults, rng=channel_rng, oracle=oracle
+        servers = [server] if isinstance(server, Server) else list(server)
+        self.servers: list[Server] = servers
+        self.placement = (
+            placement if placement is not None else Placement(len(servers))
         )
+        self.vm = vm
+        if channel_rng is None or isinstance(channel_rng, RngStream):
+            channel_rngs: list[RngStream | None] = [channel_rng] * len(servers)
+        else:
+            channel_rngs = list(channel_rng)
+        self.transports: list[RpcTransport] = [
+            RpcTransport(self, shard, config.faults, rng=rng, oracle=oracle)
+            for shard, rng in zip(servers, channel_rngs)
+        ]
+        #: Backing-file paging is pinned to one shard per client (a
+        #: process's backing file lives on a single server).
+        self._paging_shard = client_id % len(servers)
         self.counters = ClientCounters()
         self.cache = BlockCache(config.block_size)
         #: Optional observability hook (repro.obs); every use is guarded
@@ -91,6 +112,27 @@ class ClientKernel:
         #: what the reopen protocol re-registers after a server crash.
         self._open_files: dict[int, list[int]] = {}
 
+    # --- shard routing -----------------------------------------------------------
+
+    @property
+    def server(self) -> Server:
+        """Shard 0 -- *the* server when the cluster has one."""
+        return self.servers[0]
+
+    @property
+    def transport(self) -> RpcTransport:
+        """Shard 0's transport (the only one in a classic cluster)."""
+        return self.transports[0]
+
+    def _shard_of(self, file_id: int) -> int:
+        return self.placement.shard_of(file_id)
+
+    def _server_for(self, file_id: int) -> Server:
+        return self.servers[self.placement.shard_of(file_id)]
+
+    def _transport_for(self, file_id: int) -> RpcTransport:
+        return self.transports[self.placement.shard_of(file_id)]
+
     # --- consistency hooks -------------------------------------------------------
 
     def receive_cacheability(self, file_id: int, cacheable: bool) -> None:
@@ -98,7 +140,7 @@ class ClientKernel:
         on this client's channel (lossy delivery, retried until it
         lands)."""
         now = self.engine.now
-        self.transport.deliver_callback(
+        self._transport_for(file_id).deliver_callback(
             now,
             lambda: self.set_cacheability(file_id, cacheable),
             "cache_disable" if not cacheable else "cache_enable",
@@ -123,7 +165,7 @@ class ClientKernel:
         """Server callback: a dirty-data recall arrives as a message on
         this client's channel (lossy delivery, retried until it
         lands)."""
-        self.transport.deliver_callback(
+        self._transport_for(file_id).deliver_callback(
             now,
             lambda: self.recall_dirty_data(now, file_id),
             "recall",
@@ -140,36 +182,40 @@ class ClientKernel:
         """Can the server reach this client right now?"""
         return self.up and now >= self.partition_until
 
-    def _unavailable_until(self, now: float) -> float:
-        """When the server becomes reachable again (== ``now`` if it
-        already is)."""
+    def _unavailable_until(self, now: float, server: Server | None = None) -> float:
+        """When ``server`` (shard 0 by default) becomes reachable again
+        (== ``now`` if it already is)."""
+        if server is None:
+            server = self.servers[0]
         until = now
-        if not self.server.up:
-            until = max(until, self.server.down_until)
+        if not server.up:
+            until = max(until, server.down_until)
         if now < self.partition_until:
             until = max(until, self.partition_until)
         return until
 
-    def await_server(self, now: float, data_op: bool = False) -> bool:
-        """Gate one operation on server availability.
+    def await_server(self, now: float, data_op: bool = False, shard: int = 0) -> bool:
+        """Gate one operation on the availability of server ``shard``.
 
         Returns True when the operation may proceed (immediately, or
         after a booked stall), False when a data operation gives up
         under ``degraded_mode="fail"``.  Naming operations always
-        stall -- Sprite's opens and closes cannot be dropped.
+        stall -- Sprite's opens and closes cannot be dropped.  One shard
+        being down never gates traffic to the others.
         """
-        until = self._unavailable_until(now)
+        until = self._unavailable_until(now, self.servers[shard])
         if until <= now:
             return True
         faults = self.config.faults
         wait = until - now
+        transport = self.transports[shard]
         if wait <= faults.rpc_timeout or not data_op or faults.degraded_mode == "stall":
-            self.counters.rpc_retries += self.transport.outage_resend_loop(wait)
+            self.counters.rpc_retries += transport.outage_resend_loop(wait)
             self.counters.stall_seconds += wait
             if self.obs is not None:
                 self.obs.on_stall(now, self.client_id, wait, "outage")
             return True
-        self.counters.rpc_retries += self.transport.outage_resend_loop(
+        self.counters.rpc_retries += transport.outage_resend_loop(
             faults.rpc_timeout
         )
         self.counters.stall_seconds += faults.rpc_timeout
@@ -218,43 +264,72 @@ class ClientKernel:
         replay writes that came due while cut off."""
         if now < self.partition_until or not self.up:
             return  # extended by a later partition, or machine is down
-        if not self.server.up:
+        if not any(server.up for server in self.servers):
             return  # still unreachable; the server recovery sweep will run
+        # Sweep only the shards that are up; a shard still crashed will
+        # drive its own sweep through ``on_server_recovered``.
         self._revalidate_cached_files(now)
         self._replay_overdue_writes(now)
 
-    def on_server_recovered(self, now: float) -> None:
-        """Sprite's stateful reopen protocol, client side.
+    def on_server_recovered(self, now: float, server_id: int = 0) -> None:
+        """Sprite's stateful reopen protocol, client side, for the
+        recovered shard.
 
-        Re-register every open file, re-validate every cached file
-        against the durable version stamps, and replay dirty blocks
-        whose writeback came due during the outage.  No cached block
-        survives recovery without re-validation.
+        Re-register every open file on that server, re-validate every
+        cached file against its durable version stamps, and replay dirty
+        blocks whose writeback came due during the outage.  No cached
+        block survives recovery without re-validation.  Files on other
+        shards are untouched -- their servers never lost state.
         """
         if not self.up or now < self.partition_until:
             return  # unreachable clients recover later (reboot or heal)
         # Files that were uncacheable are re-evaluated from scratch:
         # the server lost the sharing state and the reopens below
         # rebuild it, broadcasting cache-disable for files still shared.
-        self._uncacheable.clear()
+        self._uncacheable = {
+            file_id
+            for file_id in self._uncacheable
+            if self._shard_of(file_id) != server_id
+        }
+        transport = self.transports[server_id]
         for file_id in sorted(self._open_files):
+            if self._shard_of(file_id) != server_id:
+                continue
             reads, writes = self._open_files[file_id]
             if reads or writes:
                 self.counters.reopen_rpcs += 1
-                self.transport.call(
+                transport.call(
                     now, "reopen_file", file_id, self.client_id, reads, writes
                 )
-        self._revalidate_cached_files(now)
-        self._replay_overdue_writes(now)
+        self._revalidate_cached_files(now, server_id)
+        self._replay_overdue_writes(now, server_id)
 
-    def _revalidate_cached_files(self, now: float) -> None:
+    def _shard_in_sweep(self, shard: int, server_id: int | None) -> bool:
+        """Does a recovery sweep scoped to ``server_id`` cover ``shard``?
+
+        ``None`` means "every shard that is currently up" (the heal-
+        partition sweep); an explicit id limits the sweep to the shard
+        that just recovered.
+        """
+        if server_id is None:
+            return self.servers[shard].up
+        return shard == server_id
+
+    def _revalidate_cached_files(
+        self, now: float, server_id: int | None = None
+    ) -> None:
         """One validation RPC per cached file; drop blocks whose
         version no longer matches (dirty ones among them are lost --
         they conflict with writes accepted elsewhere)."""
         block_size = self.config.block_size
         for file_id in sorted(self.cache.resident_files()):
+            shard = self._shard_of(file_id)
+            if not self._shard_in_sweep(shard, server_id):
+                continue
             self.counters.revalidate_rpcs += 1
-            current = self.transport.call(now, "revalidate_file", file_id)
+            current = self.transports[shard].call(
+                now, "revalidate_file", file_id
+            )
             known = self._known_version.get(file_id)
             if known is not None and known == current:
                 continue
@@ -269,15 +344,22 @@ class ClientKernel:
             self._spare_pages += len(victims)
             self._known_version.pop(file_id, None)
 
-    def _replay_overdue_writes(self, now: float) -> None:
+    def _replay_overdue_writes(
+        self, now: float, server_id: int | None = None
+    ) -> None:
         """Write back dirty blocks whose 30-second deadline passed while
         the server was unreachable (the "replay un-acked writes" half of
         the reopen protocol)."""
         cutoff = now - self.config.writeback_delay
         overdue = self.cache.dirty_blocks_older_than(cutoff)
         for file_id in sorted({b.file_id for b in overdue}):
+            shard = self._shard_of(file_id)
+            if not self._shard_in_sweep(shard, server_id):
+                continue
             self._clean_file(now, file_id, CleanReason.RECOVERY)
-            self.transport.call(now, "note_written_back", file_id, self.client_id)
+            self.transports[shard].call(
+                now, "note_written_back", file_id, self.client_id
+            )
 
     # --- opens and closes ---------------------------------------------------------
 
@@ -289,8 +371,10 @@ class ClientKernel:
         mechanism).
         """
         self.counters.file_open_ops += 1
-        self.await_server(now)  # naming op: always stalls through outages
-        reply = self.transport.call(
+        shard = self._shard_of(file_id)
+        # Naming op: always stalls through outages.
+        self.await_server(now, shard=shard)
+        reply = self.transports[shard].call(
             now, "open_file", file_id, self.client_id, will_write
         )
         counts = self._open_files.get(file_id)
@@ -311,11 +395,14 @@ class ClientKernel:
         self, now: float, file_id: int, wrote: bool, fsync: bool = False
     ) -> None:
         """Close a file, optionally forcing its dirty data through."""
-        self.await_server(now)  # naming op: always stalls through outages
+        shard = self._shard_of(file_id)
+        # Naming op: always stalls through outages.
+        self.await_server(now, shard=shard)
+        transport = self.transports[shard]
         if fsync and wrote:
             self._clean_file(now, file_id, CleanReason.FSYNC)
-            self.transport.call(now, "note_written_back", file_id, self.client_id)
-        self.transport.call(now, "close_file", file_id, self.client_id, wrote)
+            transport.call(now, "note_written_back", file_id, self.client_id)
+        transport.call(now, "close_file", file_id, self.client_id, wrote)
         counts = self._open_files.get(file_id)
         if counts is not None:
             counts[1 if wrote else 0] = max(0, counts[1 if wrote else 0] - 1)
@@ -341,10 +428,13 @@ class ClientKernel:
         if length <= 0:
             return
         paging = paging_kind is not None
+        shard = self._shard_of(file_id)
         if file_id in self._uncacheable:
             self.counters.shared_bytes_read += length
-            if self.await_server(now, data_op=True):
-                self.transport.call(now, "passthrough_read", file_id, length)
+            if self.await_server(now, data_op=True, shard=shard):
+                self.transports[shard].call(
+                    now, "passthrough_read", file_id, length
+                )
             return
         if paging_kind == "code":
             self.counters.paging_code_bytes += length
@@ -355,13 +445,14 @@ class ClientKernel:
             if migrated:
                 self.counters.migrated_read_bytes += length
 
-        # Faults: while the server is unreachable, cache hits may serve
-        # stale bytes (the durable version moved on without us) and
+        # Faults: while the file's server is unreachable, cache hits may
+        # serve stale bytes (the durable version moved on without us) and
         # misses stall or fail per the degraded mode.  ``fetch_allowed``
         # gates (and books the stall for) this call's misses just once.
-        unreachable = self._unavailable_until(now) > now
+        file_server = self.servers[shard]
+        unreachable = self._unavailable_until(now, file_server) > now
         stale = unreachable and (
-            self.server.peek_version(file_id)
+            file_server.peek_version(file_id)
             > self._known_version.get(file_id, 0)
         )
         fetch_allowed: bool | None = None
@@ -390,7 +481,9 @@ class ClientKernel:
             self.counters.cache_read_misses += 1
             if unreachable:
                 if fetch_allowed is None:
-                    fetch_allowed = self.await_server(now, data_op=True)
+                    fetch_allowed = self.await_server(
+                        now, data_op=True, shard=shard
+                    )
                 if not fetch_allowed:
                     continue  # dropped transfer: nothing crossed the wire
             self.counters.cache_read_miss_bytes += overlap
@@ -400,7 +493,9 @@ class ClientKernel:
             if migrated:
                 self.counters.migrated_read_misses += 1
                 self.counters.migrated_read_miss_bytes += overlap
-            self.transport.call(now, "fetch_block", file_id, index, overlap)
+            self.transports[shard].call(
+                now, "fetch_block", file_id, index, overlap
+            )
             if self.obs is not None:
                 self.obs.on_block_fetch(now, self.client_id, file_id, index, overlap)
             self._make_room(now)
@@ -418,10 +513,13 @@ class ClientKernel:
         """Application write of a byte range."""
         if length <= 0:
             return
+        shard = self._shard_of(file_id)
         if file_id in self._uncacheable:
             self.counters.shared_bytes_written += length
-            if self.await_server(now, data_op=True):
-                self.transport.call(now, "passthrough_write", file_id, length)
+            if self.await_server(now, data_op=True, shard=shard):
+                self.transports[shard].call(
+                    now, "passthrough_write", file_id, length
+                )
             return
         self.counters.file_bytes_written += length
         self.counters.cache_write_bytes += length
@@ -432,10 +530,10 @@ class ClientKernel:
         # "fail" mode the write degrades to an unfetched overwrite (the
         # block starts empty instead of being filled from the server).
         # Write-through mode stalls through outages like any sync write.
-        unreachable = self._unavailable_until(now) > now
+        unreachable = self._unavailable_until(now, self.servers[shard]) > now
         fetch_allowed: bool | None = None
         if unreachable and self.config.write_through:
-            self.await_server(now)
+            self.await_server(now, shard=shard)
 
         block_size = self.config.block_size
         first = offset // block_size
@@ -455,7 +553,9 @@ class ClientKernel:
                 fetch = partial and overwrites_existing
                 if fetch and unreachable:
                     if fetch_allowed is None:
-                        fetch_allowed = self.await_server(now, data_op=True)
+                        fetch_allowed = self.await_server(
+                            now, data_op=True, shard=shard
+                        )
                     fetch = fetch_allowed
                 if fetch:
                     # Partial write of a non-resident block: fetch it
@@ -464,7 +564,9 @@ class ClientKernel:
                     self.counters.write_fetch_bytes += block_size
                     if migrated:
                         self.counters.migrated_write_fetch_ops += 1
-                    self.transport.call(now, "fetch_block", file_id, index, block_size)
+                    self.transports[shard].call(
+                        now, "fetch_block", file_id, index, block_size
+                    )
                     if self.obs is not None:
                         self.obs.on_block_fetch(
                             now, self.client_id, file_id, index, block_size
@@ -485,15 +587,21 @@ class ClientKernel:
 
     def fsync_file(self, now: float, file_id: int) -> None:
         """Application-requested synchronous write-through."""
-        self.await_server(now)  # sync write: stalls through outages
+        shard = self._shard_of(file_id)
+        # Sync write: stalls through outages.
+        self.await_server(now, shard=shard)
         self._clean_file(now, file_id, CleanReason.FSYNC)
-        self.transport.call(now, "note_written_back", file_id, self.client_id)
+        self.transports[shard].call(
+            now, "note_written_back", file_id, self.client_id
+        )
 
     def delete_on_server(self, now: float, file_id: int) -> None:
         """Issue the delete/truncate naming RPC: one message carries
         both the name operation and the server-side invalidation."""
-        self.await_server(now)  # naming op: always stalls through outages
-        self.transport.call(now, "delete_file", file_id)
+        shard = self._shard_of(file_id)
+        # Naming op: always stalls through outages.
+        self.await_server(now, shard=shard)
+        self.transports[shard].call(now, "delete_file", file_id)
 
     def delete_file(self, now: float, file_id: int) -> None:
         """Handle a delete (or truncate-to-zero) of a file."""
@@ -507,11 +615,17 @@ class ClientKernel:
             self._spare_pages += 1
         self._known_version.pop(file_id, None)
 
-    def directory_read(self, now: float, length: int) -> None:
-        """Directories are not cached on clients."""
+    def directory_read(self, now: float, length: int, file_id: int = -1) -> None:
+        """Directories are not cached on clients.
+
+        ``file_id`` picks the serving shard (a directory lives with its
+        server); the RPC itself stays the anonymous ``-1`` passthrough
+        the single-server protocol always used.
+        """
         self.counters.directory_bytes_read += length
-        if self.await_server(now, data_op=True):
-            self.transport.call(now, "passthrough_read", -1, length)
+        shard = self._shard_of(file_id)
+        if self.await_server(now, data_op=True, shard=shard):
+            self.transports[shard].call(now, "passthrough_read", -1, length)
 
     # --- paging -------------------------------------------------------------------
 
@@ -523,8 +637,8 @@ class ClientKernel:
             self.counters.paging_backing_bytes_written += nbytes
         else:
             self.counters.paging_backing_bytes_read += nbytes
-        self.await_server(now)
-        self.transport.call(now, "paging_transfer", nbytes)
+        self.await_server(now, shard=self._paging_shard)
+        self.transports[self._paging_shard].call(now, "paging_transfer", nbytes)
 
     # --- internals ------------------------------------------------------------------
 
@@ -584,25 +698,30 @@ class ClientKernel:
     def _writeback_scan(self) -> None:
         """The 5-second daemon: clean files with 30-second-old data."""
         now = self.engine.now
-        if (
-            not self.up
-            or not self.server.up
-            or self._unavailable_until(now) > now
-        ):
-            # Dead machine or unreachable server: the daemon does not
-            # retry -- overdue blocks are replayed by the recovery sweep
-            # (or by the first scan after the outage ends).  The
-            # explicit ``server.up`` check covers the instant at the end
-            # of a scheduled outage, before recovery has actually run.
+        if not self.up or now < self.partition_until:
+            # Dead machine or partitioned: the daemon does not retry --
+            # overdue blocks are replayed by the recovery sweep (or by
+            # the first scan after the outage ends).
             return
         cutoff = now - self.config.writeback_delay
         old_blocks = self.cache.dirty_blocks_older_than(cutoff)
         if not old_blocks:
             return
-        # All dirty blocks of a file go when any block is 30s old.
+        # All dirty blocks of a file go when any block is 30s old.  A
+        # crashed shard's files are skipped (their recovery sweep will
+        # replay them); the other shards' writebacks proceed -- one
+        # server down never stalls the rest of the cluster.  The
+        # explicit ``up`` check covers the instant at the end of a
+        # scheduled outage, before recovery has actually run.
         for file_id in sorted({b.file_id for b in old_blocks}):
+            shard = self._shard_of(file_id)
+            server = self.servers[shard]
+            if not server.up or self._unavailable_until(now, server) > now:
+                continue
             self._clean_file(now, file_id, CleanReason.DELAY)
-            self.transport.call(now, "note_written_back", file_id, self.client_id)
+            self.transports[shard].call(
+                now, "note_written_back", file_id, self.client_id
+            )
 
     def _clean_file(self, now: float, file_id: int, reason: CleanReason) -> None:
         for block in self.cache.dirty_blocks_of_file(file_id):
@@ -611,7 +730,9 @@ class ClientKernel:
     def _clean_block(self, now: float, block: CacheBlock, reason: CleanReason) -> None:
         nbytes = max(1, min(block.written_end, self.config.block_size))
         age = max(0.0, now - block.dirty_since) if block.dirty_since >= 0 else 0.0
-        self.transport.call(now, "write_block", block.file_id, block.index, nbytes)
+        self._transport_for(block.file_id).call(
+            now, "write_block", block.file_id, block.index, nbytes
+        )
         self.counters.bytes_written_to_server += nbytes
         if reason is CleanReason.DELAY:
             self.counters.blocks_cleaned_delay += 1

@@ -22,6 +22,7 @@ from repro.fs.faults import FaultInjector, FaultSchedule
 from repro.fs.oracle import ProtocolOracle
 from repro.fs.paging import PagingModel
 from repro.fs.server import Server
+from repro.fs.sharding import Placement
 from repro.fs.vm import VirtualMemory
 from repro.sim.engine import Engine
 from repro.sim.timers import RecurringTimer
@@ -48,8 +49,14 @@ class ClusterResult:
     duration: float
     snapshots: dict[int, list[CounterSnapshot]]
     final_counters: dict[int, ClientCounters]
+    #: Aggregate across all servers (the single server's counters when
+    #: ``num_servers == 1``) -- what Tables 5-9 consume.
     server_counters: ServerCounters
     records_replayed: int = 0
+    #: One entry per server shard, in server-id order.  For a classic
+    #: single-server cluster this is a 1-tuple whose entry equals
+    #: ``server_counters``.
+    per_server_counters: tuple[ServerCounters, ...] = ()
 
     def all_snapshots(self) -> list[CounterSnapshot]:
         out: list[CounterSnapshot] = []
@@ -103,8 +110,15 @@ class Cluster:
         self._fault_schedule = fault_schedule
         self.oracle = oracle
         self.obs = obs
-        self.server = Server(config.server_memory, config.block_size)
-        self.server.on_cacheability_change = self._cacheability_changed
+        #: File -> server placement; a pure function of the file id and
+        #: ``config.placement_seed``, independent of the replay seed.
+        self.placement = Placement(config.num_servers, config.placement_seed)
+        self.servers: list[Server] = [
+            Server(config.server_memory, config.block_size, server_id=i)
+            for i in range(config.num_servers)
+        ]
+        for server in self.servers:
+            server.on_cacheability_change = self._cacheability_changed
 
         #: VM base demand: the window system and daemons hold a slab of
         #: memory permanently; per-client jitter keeps machines distinct.
@@ -124,13 +138,21 @@ class Cluster:
             )
             # ``fork`` is a pure function of the parent key and name, so
             # the channel stream exists (unused) even in fault-free runs
-            # without perturbing any other stream.
+            # without perturbing any other stream.  Shard 0 keeps the
+            # historical "channel" name; extra shards get new names, so
+            # a single-server build's streams are untouched.
+            channel_rngs = [client_rng.fork("channel")] + [
+                client_rng.fork(f"channel-{i}")
+                for i in range(1, config.num_servers)
+            ]
             client = ClientKernel(
-                client_id, config, self.engine, self.server, vm,
-                channel_rng=client_rng.fork("channel"),
+                client_id, config, self.engine, self.servers, vm,
+                channel_rng=channel_rngs,
                 oracle=oracle,
+                placement=self.placement,
             )
-            self.server.register_client(client)
+            for server in self.servers:
+                server.register_client(client)
             self.clients.append(client)
             self.paging.append(
                 PagingModel(
@@ -156,6 +178,11 @@ class Cluster:
 
     # --- plumbing ------------------------------------------------------------
 
+    @property
+    def server(self) -> Server:
+        """Shard 0 -- *the* server when ``num_servers == 1``."""
+        return self.servers[0]
+
     def _cacheability_changed(self, file_id: int, cacheable: bool) -> None:
         for client in self.clients:
             client.receive_cacheability(file_id, cacheable)
@@ -177,25 +204,33 @@ class Cluster:
 
     # --- fault transitions -------------------------------------------------------
 
-    def crash_server(self, down_until: float) -> None:
-        """The server crashes, staying down until ``down_until``."""
-        self.server.crash(self.engine.now, down_until)
+    def crash_server(self, down_until: float, server_id: int = 0) -> None:
+        """Server ``server_id`` crashes, staying down until ``down_until``."""
+        self.servers[server_id].crash(self.engine.now, down_until)
 
-    def recover_server(self) -> None:
-        """The server reboots; every reachable client runs the reopen
-        protocol, in client order (deterministic)."""
+    def recover_server(self, server_id: int = 0) -> None:
+        """Server ``server_id`` reboots; every reachable client runs the
+        reopen protocol for that shard, in client order (deterministic).
+
+        A no-op when an overlapping fault extended the outage past now
+        (the extended fault's own recovery callback will run the sweep).
+        """
         now = self.engine.now
-        self.server.recover(now)
+        if not self.servers[server_id].recover(now):
+            return
         if self.obs is not None:
-            self.obs.on_fault_recovered(now, "server_crash", -1)
+            # Encoding: -1 - server_id, so the single-server case keeps
+            # its historical -1 target.
+            self.obs.on_fault_recovered(now, "server_crash", -1 - server_id)
         for client in self.clients:
-            client.on_server_recovered(now)
+            client.on_server_recovered(now, server_id)
 
     def crash_client(self, client: ClientKernel) -> None:
         """A client dies: its cache (and any un-written dirty data) is
-        lost and the server purges its registrations."""
+        lost and every server purges its registrations."""
         client.crash(self.engine.now)
-        self.server.client_crashed(client.client_id)
+        for server in self.servers:
+            server.client_crashed(client.client_id)
 
     def reboot_client(self, client: ClientKernel) -> None:
         client.reboot(self.engine.now)
@@ -292,7 +327,7 @@ class Cluster:
             if not client.up:
                 client.counters.ops_dropped_while_down += 1
                 return
-            client.directory_read(now, record.length)
+            client.directory_read(now, record.length, file_id=record.file_id)
 
     # --- main entry ------------------------------------------------------------
 
@@ -307,6 +342,7 @@ class Cluster:
                 self.config.client_count,
                 duration,
                 self.rng.fork("faults"),
+                num_servers=self.config.num_servers,
             )
         if schedule is not None and len(schedule):
             FaultInjector(self, schedule).arm()
@@ -322,13 +358,23 @@ class Cluster:
             self.dispatch(record)
         if duration > self.engine.now:
             self.engine.run_until(duration)
+        for server in self.servers:
+            # Book the elapsed part of any outage still open at the end,
+            # so downtime_seconds reflects real wall time, not the
+            # crash-time prediction.
+            server.finalize_downtime(self.engine.now)
         self._take_snapshots()  # final reading
         if self.oracle is not None:
-            self.oracle.final_check(self.engine.now, self.clients)
+            self.oracle.final_check(self.engine.now, self.clients, self.servers)
         if self.obs is not None:
             # After the final snapshot, so the closing sample carries
             # the same refreshed gauges the result does.
             self.obs.finalize(self.engine.now)
+        per_server = tuple(s.counters.copy() for s in self.servers)
+        if len(per_server) == 1:
+            aggregate = per_server[0].copy()
+        else:
+            aggregate = ServerCounters.aggregate(per_server)
         return ClusterResult(
             config=self.config,
             duration=duration,
@@ -336,8 +382,9 @@ class Cluster:
             final_counters={
                 c.client_id: c.counters.copy() for c in self.clients
             },
-            server_counters=self.server.counters.copy(),
+            server_counters=aggregate,
             records_replayed=self._records,
+            per_server_counters=per_server,
         )
 
 

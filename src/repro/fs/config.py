@@ -33,6 +33,16 @@ class ClusterConfig:
     server_memory: int = DEFAULT_SERVER_MEMORY
     block_size: int = BLOCK_SIZE
 
+    #: File servers in the cluster.  The measured cluster had four; the
+    #: file space is partitioned across them by a seeded hash of the
+    #: file id (see repro.fs.sharding).  1 = the classic single-server
+    #: configuration, byte-identical to builds that predate sharding.
+    num_servers: int = 1
+    #: Seed of the file->server placement hash.  Deliberately separate
+    #: from the replay seed so placement is stable across the seed
+    #: offsets the experiment tables use for their replays.
+    placement_seed: int = 0
+
     #: Dirty data is written to the server this long after it was written.
     writeback_delay: float = DELAYED_WRITE_SECONDS
     #: The daemon scans for 30-second-old dirty blocks at this period.
@@ -70,6 +80,8 @@ class ClusterConfig:
     def __post_init__(self) -> None:
         if self.client_count <= 0:
             raise ConfigError("need at least one client")
+        if self.num_servers <= 0:
+            raise ConfigError("need at least one server")
         if self.block_size <= 0 or self.block_size % 512:
             raise ConfigError(f"implausible block size {self.block_size}")
         if self.client_memory < self.kernel_memory + self.min_cache_size:

@@ -12,6 +12,7 @@ files.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
+from typing import Iterable
 
 
 @dataclass(slots=True)
@@ -242,6 +243,21 @@ class ServerCounters:
         for item in fields(self):
             setattr(clone, item.name, getattr(self, item.name))
         return clone
+
+    @classmethod
+    def aggregate(cls, many: "Iterable[ServerCounters]") -> "ServerCounters":
+        """Field-wise sum across server shards.
+
+        Every server counter is a cumulative sum (downtime included), so
+        the whole-cluster view is the plain total -- what Tables 5-9
+        report for the aggregated server.
+        """
+        total = cls()
+        names = [item.name for item in fields(cls)]
+        for counters in many:
+            for name in names:
+                setattr(total, name, getattr(total, name) + getattr(counters, name))
+        return total
 
 
 @dataclass(slots=True)

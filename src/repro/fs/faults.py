@@ -51,7 +51,9 @@ from repro.common.rng import RngStream
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.fs.cluster import Cluster
 
-#: ``FaultEvent.target`` value meaning the (single, aggregated) server.
+#: ``FaultEvent.target`` value meaning server 0 -- *the* server of a
+#: single-server cluster.  In a sharded cluster a server crash may also
+#: target an explicit server id >= 0.
 SERVER_TARGET = -1
 
 
@@ -70,7 +72,9 @@ class FaultEvent:
 
     time: float
     kind: FaultKind
-    target: int  # client id, or SERVER_TARGET
+    #: Client id; or for server crashes a server id (SERVER_TARGET = -1
+    #: aliases server 0, the only server of a classic cluster).
+    target: int
     duration: float
 
     def __post_init__(self) -> None:
@@ -78,8 +82,10 @@ class FaultEvent:
             raise ConfigError(f"fault scheduled before time zero: {self.time}")
         if self.duration <= 0:
             raise ConfigError(f"fault needs a positive duration: {self.duration}")
-        if self.kind is FaultKind.SERVER_CRASH and self.target != SERVER_TARGET:
-            raise ConfigError("server crashes must target SERVER_TARGET")
+        if self.kind is FaultKind.SERVER_CRASH and self.target < SERVER_TARGET:
+            raise ConfigError(
+                "server crashes must target SERVER_TARGET or a server id"
+            )
         if self.kind is not FaultKind.SERVER_CRASH and self.target < 0:
             raise ConfigError(f"client fault needs a client target, got {self.target}")
 
@@ -203,8 +209,16 @@ def retries_for_wait(config: FaultConfig, wait: float) -> int:
         (the arithmetic is identical, keeping fault-era golden tables
         byte-stable) and remains only for external callers.
     """
+    import warnings
+
     from repro.fs.rpc import BackoffPolicy
 
+    warnings.warn(
+        "retries_for_wait is deprecated; use "
+        "BackoffPolicy.from_config(config).attempts_for_wait(wait)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return BackoffPolicy.from_config(config).attempts_for_wait(wait)
 
 
@@ -235,13 +249,17 @@ class FaultSchedule:
         client_count: int,
         duration: float,
         rng: RngStream,
+        num_servers: int = 1,
     ) -> "FaultSchedule":
         """Draw a schedule over ``[0, duration)``.
 
-        Each failure process (the server, each client's crashes, each
+        Each failure process (every server, each client's crashes, each
         client's partitions) draws from its own forked stream, and the
         next fault is drawn from the end of the previous outage, so
-        faults of one kind never overlap on one target.
+        faults of one kind never overlap on one target.  Server 0 keeps
+        the historical ``"server"`` stream and ``SERVER_TARGET`` target,
+        so single-server schedules are unchanged; each extra shard is an
+        independent crash process at the full ``server_crash_rate``.
         """
         events: list[FaultEvent] = []
 
@@ -271,6 +289,14 @@ class FaultSchedule:
             FaultKind.SERVER_CRASH,
             SERVER_TARGET,
         )
+        for server_id in range(1, num_servers):
+            draw(
+                rng.fork(f"server-{server_id}"),
+                config.server_crash_rate,
+                config.server_downtime,
+                FaultKind.SERVER_CRASH,
+                server_id,
+            )
         for client_id in range(client_count):
             draw(
                 rng.fork(f"client-crash-{client_id}"),
@@ -320,8 +346,12 @@ class FaultInjector:
         if obs is not None:
             obs.on_fault_fired(cluster.engine.now, event)
         if event.kind is FaultKind.SERVER_CRASH:
-            cluster.crash_server(event.end_time)
-            cluster.engine.schedule_at(event.end_time, cluster.recover_server)
+            server_id = 0 if event.target < 0 else event.target
+            server_id %= len(cluster.servers)
+            cluster.crash_server(event.end_time, server_id)
+            cluster.engine.schedule_at(
+                event.end_time, _RecoverServer(cluster, server_id)
+            )
         elif event.kind is FaultKind.CLIENT_CRASH:
             client = cluster.clients[event.target % len(cluster.clients)]
             cluster.crash_client(client)
@@ -351,6 +381,20 @@ class _Apply:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"_Apply({self._event!r})"
+
+
+class _RecoverServer:
+    __slots__ = ("_cluster", "_server_id")
+
+    def __init__(self, cluster: "Cluster", server_id: int) -> None:
+        self._cluster = cluster
+        self._server_id = server_id
+
+    def __call__(self) -> None:
+        self._cluster.recover_server(self._server_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_RecoverServer(server_id={self._server_id})"
 
 
 class _Reboot:

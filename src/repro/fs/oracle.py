@@ -81,8 +81,11 @@ class ProtocolOracle:
         #: Optional observation hub (repro.obs); when set, every check
         #: and violation is mirrored into the event trace.
         self.obs: Any | None = None
-        #: (client_id, seq) -> executions; seq -1 (fast path) is untracked.
-        self._executed: set[tuple[int, int]] = set()
+        #: (server_id, client_id, seq) executions; seq -1 (fast path) is
+        #: untracked.  Sequence numbers are per transport, and a client
+        #: has one transport per server shard, so the key must carry the
+        #: server id: two shards legitimately both see (client, 0).
+        self._executed: set[tuple[int, int, int]] = set()
         #: file_id -> highest version stamp ever observed.
         self._versions: dict[int, int] = {}
 
@@ -100,18 +103,19 @@ class ProtocolOracle:
 
     def on_execute(
         self, now: float, client_id: int, seq: int, op: str,
-        args: tuple, reply: Any,
+        args: tuple, reply: Any, server_id: int = 0,
     ) -> None:
         """Called by the server endpoint after executing a request."""
         self.checks_run += 1
         if self.obs is not None:
             self.obs.on_oracle_check(now, "execute", client_id, op)
         if seq >= 0:
-            key = (client_id, seq)
+            key = (server_id, client_id, seq)
             if key in self._executed:
                 self._flag(
                     "at-most-once", now,
-                    f"client {client_id} seq {seq} ({op}) executed twice",
+                    f"server {server_id}: client {client_id} seq {seq} "
+                    f"({op}) executed twice",
                 )
             self._executed.add(key)
         if op in ("open_file", "revalidate_file"):
@@ -155,8 +159,42 @@ class ProtocolOracle:
 
     # --- end-of-replay checks ---------------------------------------------------
 
-    def final_check(self, now: float, clients: list["ClientKernel"]) -> None:
-        """Dirty-byte conservation, checked once the replay settles."""
+    def final_check(
+        self,
+        now: float,
+        clients: list["ClientKernel"],
+        servers: list[Any] | None = None,
+    ) -> None:
+        """Dirty-byte conservation, checked once the replay settles.
+
+        With multiple ``servers`` given, also checks the cross-shard
+        ledger: every dirty block any client cleaned crossed the wire to
+        exactly one server, so the cluster-wide writeback counts must
+        balance (``write_block`` executes exactly once per clean under
+        the at-most-once transport, whichever shard it lands on).  A
+        single-server cluster skips it -- the per-client conservation
+        sweep below already covers one server, and skipping keeps the
+        check count (which rendered reports embed) identical to
+        pre-sharding replays.
+        """
+        if servers is not None and len(servers) > 1:
+            self.checks_run += 1
+            if self.obs is not None:
+                self.obs.on_oracle_check(
+                    now, "final", -1, "cross-shard-writeback-ledger"
+                )
+            received = sum(s.counters.block_writes for s in servers)
+            cleaned = sum(c.counters.blocks_cleaned_total for c in clients)
+            if received != cleaned:
+                per_server = ", ".join(
+                    f"server {s.server_id}: {s.counters.block_writes}"
+                    for s in servers
+                )
+                self._flag(
+                    "cross-shard-writeback-ledger", now,
+                    f"clients cleaned {cleaned} dirty blocks but servers "
+                    f"received {received} ({per_server})",
+                )
         for client in clients:
             self.checks_run += 1
             if self.obs is not None:

@@ -355,7 +355,10 @@ class ServerEndpoint:
         """Run one operation (no dedup -- the inert fast path)."""
         reply = self._ops[op](now, *args)
         if self.oracle is not None:
-            self.oracle.on_execute(now, client_id, -1, op, args, reply)
+            self.oracle.on_execute(
+                now, client_id, -1, op, args, reply,
+                server_id=self.server.server_id,
+            )
         return reply
 
     def receive(self, now: float, message: Message) -> tuple[bool, Any]:
@@ -388,6 +391,7 @@ class ServerEndpoint:
             self.oracle.on_execute(
                 now, message.client_id, message.seq, message.op,
                 message.args, reply,
+                server_id=self.server.server_id,
             )
         return True, reply
 

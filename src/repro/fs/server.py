@@ -52,13 +52,18 @@ class OpenReply:
 
 
 class Server:
-    """The (single, aggregated) file server of the cluster.
+    """One file server of the cluster.
 
-    The measured cluster had four servers with most traffic on one; the
-    simulator models the aggregate, which is what Tables 5-9 measure.
+    The measured cluster had four servers; a cluster holds one
+    ``Server`` per shard (see :mod:`repro.fs.sharding`), each owning a
+    disjoint slice of the file space.  ``num_servers=1`` reproduces the
+    old single aggregated server exactly.
     """
 
-    def __init__(self, cache_bytes: int, block_size: int) -> None:
+    def __init__(
+        self, cache_bytes: int, block_size: int, server_id: int = 0
+    ) -> None:
+        self.server_id = server_id
         self.counters = ServerCounters()
         self.cache = ServerCache(cache_bytes, block_size)
         self._files: dict[int, FileServerState] = {}
@@ -73,6 +78,9 @@ class Server:
         #: ``down_until``, then run the reopen protocol.
         self.up = True
         self.down_until = 0.0
+        #: When the current outage began; downtime is booked from real
+        #: timestamps at recovery, not predicted at crash time.
+        self.down_since = 0.0
         #: Optional observability hook (repro.obs); every use is guarded
         #: so None (the default) leaves all code paths untouched.
         self.obs = None
@@ -127,9 +135,7 @@ class Server:
         opens[client_id] = opens.get(client_id, 0) + 1
 
         # Concurrent write-sharing: any writer plus any other client.
-        sharing_clients = set(state.readers) | set(state.writers)
-        if state.writers and len(sharing_clients) > 1 and not state.uncacheable:
-            self._set_cacheability(file_id, state, cacheable=False)
+        if self._check_write_sharing(file_id, state, count_open=True):
             self.counters.concurrent_write_sharing_opens += 1
 
         if will_write:
@@ -162,6 +168,26 @@ class Server:
         if state.uncacheable and not state.readers and not state.writers:
             self._set_cacheability(file_id, state, cacheable=True)
 
+    def _check_write_sharing(
+        self, file_id: int, state: FileServerState, count_open: bool
+    ) -> bool:
+        """Disable caching if the file is concurrently write-shared.
+
+        The one implementation behind both ``open_file`` and
+        ``reopen_file`` (they used to carry copy-pasted twins of this
+        check).  The sharing set is materialised in sorted client order
+        so any downstream notification fan-out is order-deterministic
+        regardless of registration order.  Returns True when this call
+        disabled caching.
+        """
+        if not state.writers or state.uncacheable:
+            return False
+        sharing_clients = sorted(set(state.readers) | set(state.writers))
+        if len(sharing_clients) <= 1:
+            return False
+        self._set_cacheability(file_id, state, cacheable=False)
+        return True
+
     def _set_cacheability(
         self, file_id: int, state: FileServerState, cacheable: bool
     ) -> None:
@@ -189,10 +215,15 @@ class Server:
         block cache are all in memory and are gone until clients rebuild
         them through the reopen protocol.
         """
+        if not self.up:
+            # Already down: an overlapping fault must not double-book
+            # the crash or its downtime; it can only extend the outage.
+            self.down_until = max(self.down_until, down_until)
+            return
         self.counters.crashes += 1
-        self.counters.downtime_seconds += max(0.0, down_until - now)
         self.up = False
         self.down_until = down_until
+        self.down_since = now
         for state in self._files.values():
             state.readers.clear()
             state.writers.clear()
@@ -200,11 +231,28 @@ class Server:
             state.uncacheable = False
         self.cache.clear()
 
-    def recover(self, now: float) -> None:
+    def recover(self, now: float) -> bool:
         """The server reboots; the cluster then drives each reachable
-        client's reopen/revalidate/replay sweep."""
+        client's reopen/revalidate/replay sweep.
+
+        Returns False (and stays down) when the outage has been extended
+        past ``now`` by an overlapping fault, or when already up; the
+        caller must skip the client recovery sweep in that case.
+        """
+        if self.up:
+            return False
+        if now < self.down_until:
+            return False
+        self.counters.downtime_seconds += max(0.0, now - self.down_since)
         self.up = True
         self.down_until = 0.0
+        return True
+
+    def finalize_downtime(self, now: float) -> None:
+        """Book the elapsed part of an outage still open at replay end."""
+        if not self.up:
+            self.counters.downtime_seconds += max(0.0, now - self.down_since)
+            self.down_since = now
 
     def reopen_file(
         self, now: float, file_id: int, client_id: int,
@@ -229,9 +277,7 @@ class Server:
             state.writers[client_id] = write_count
         else:
             state.writers.pop(client_id, None)
-        sharing_clients = set(state.readers) | set(state.writers)
-        if state.writers and len(sharing_clients) > 1 and not state.uncacheable:
-            self._set_cacheability(file_id, state, cacheable=False)
+        self._check_write_sharing(file_id, state, count_open=False)
 
     def revalidate_file(self, now: float, file_id: int) -> int:
         """Recovery RPC: return a file's durable version so the client

@@ -1,0 +1,59 @@
+"""File-to-server placement for the sharded cluster.
+
+The measured cluster had **four** file servers; files were partitioned
+across them by subtree (Nelson et al.'s Sprite design), and Tables 1, 2,
+and 7 of the paper report activity per server.  The simulator models
+that partition with a seeded hash of the file id: every file lives on
+exactly one server, the mapping is a pure function of
+``(file_id, num_servers, seed)``, and it is therefore stable across
+runs, worker counts, and replay seeds -- the properties the pipeline
+cache and the per-server tables rely on.
+
+With one server the placement is the constant 0 and costs nothing; the
+multi-server hash is a splitmix64-style finalizer, which is cheap
+enough for the per-operation routing the client kernel does and mixes
+well enough that consecutive file ids spread evenly.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(x: int) -> int:
+    """The splitmix64 finalizer: a fast, well-distributed 64-bit mix."""
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+class Placement:
+    """The deterministic file -> server map for one cluster.
+
+    ``shard_of`` is the whole interface.  Negative file ids (the
+    simulator's "no particular file" sentinel, used by directory
+    passthrough) land on server 0.
+    """
+
+    __slots__ = ("num_servers", "seed", "_salt")
+
+    def __init__(self, num_servers: int, seed: int = 0) -> None:
+        if num_servers < 1:
+            raise ConfigError(f"need at least one server, got {num_servers}")
+        self.num_servers = num_servers
+        self.seed = seed
+        # One up-front mix of the seed; per-file work is a single mix.
+        self._salt = _mix64(seed * 0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03)
+
+    def shard_of(self, file_id: int) -> int:
+        if self.num_servers == 1 or file_id < 0:
+            return 0
+        return _mix64(file_id ^ self._salt) % self.num_servers
+
+    __call__ = shard_of
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Placement(num_servers={self.num_servers}, seed={self.seed})"

@@ -23,9 +23,10 @@ import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
+from repro.fs.faults import FaultKind
 from repro.obs.histograms import LatencyHistograms
 from repro.obs.sampler import CounterSampler, CounterTimeseries
-from repro.obs.tracer import SERVER_PID, TraceRecorder, client_pid
+from repro.obs.tracer import SERVER_PID, TraceRecorder, client_pid, server_pid
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.fs.cluster import Cluster
@@ -73,17 +74,26 @@ class Observation:
         self._attached = True
         self._engine = cluster.engine
         cluster.engine.attach_observer(self)
-        self.tracer.name_machine(SERVER_PID, "server")
-        cluster.server.obs = self
+        servers = list(getattr(cluster, "servers", None) or [cluster.server])
+        if len(servers) == 1:
+            self.tracer.name_machine(SERVER_PID, "server")
+        else:
+            for server in servers:
+                self.tracer.name_machine(
+                    server_pid(server.server_id), f"server-{server.server_id}"
+                )
+        for server in servers:
+            server.obs = self
         for client in cluster.clients:
             self.tracer.name_machine(
                 client_pid(client.client_id), f"client-{client.client_id}"
             )
             client.obs = self
-            client.transport.obs = self
+            for transport in getattr(client, "transports", [client.transport]):
+                transport.obs = self
         if cluster.oracle is not None:
             cluster.oracle.obs = self
-        self.sampler.attach(cluster.engine, cluster.clients, cluster.server)
+        self.sampler.attach(cluster.engine, cluster.clients, servers)
 
     def finalize(self, now: float) -> None:
         """Close the run: take the final counter sample."""
@@ -108,12 +118,18 @@ class Observation:
                     ],
                 },
             )
-        server = self.timeseries.series("server")
-        self.tracer.counter(
-            now, SERVER_PID, "rpc", {
-                "rpc_count": server.rows[-1][server.fields.index("rpc_count")],
-            },
-        )
+        for series in self.timeseries.server_series():
+            if series.machine == "server":
+                pid = SERVER_PID
+            else:
+                pid = server_pid(int(series.machine.split("-", 1)[1]))
+            self.tracer.counter(
+                now, pid, "rpc", {
+                    "rpc_count": series.rows[-1][
+                        series.fields.index("rpc_count")
+                    ],
+                },
+            )
 
     # --- RPC ----------------------------------------------------------------
 
@@ -200,7 +216,12 @@ class Observation:
         )
 
     def _fault_pid(self, event: "FaultEvent") -> int:
-        return SERVER_PID if event.target < 0 else client_pid(event.target)
+        # Keyed on the kind, not the sign of the target: a server crash
+        # in a sharded cluster legitimately targets a server id >= 0,
+        # which must not be mistaken for a client.
+        if event.kind is FaultKind.SERVER_CRASH:
+            return server_pid(0 if event.target < 0 else event.target)
+        return client_pid(event.target)
 
     def on_fault_armed(self, event: "FaultEvent") -> None:
         self.tracer.instant(
@@ -216,7 +237,12 @@ class Observation:
         )
 
     def on_fault_recovered(self, now: float, kind: str, target: int) -> None:
-        pid = SERVER_PID if target < 0 else client_pid(target)
+        if kind == "server_crash":
+            # The cluster encodes the recovered shard as -1 - server_id
+            # (so a classic single-server cluster still reports -1).
+            pid = server_pid(-1 - target if target < 0 else target)
+        else:
+            pid = client_pid(target)
         self.tracer.instant(now, pid, "fault", f"recovered:{kind}")
 
     # --- oracle -----------------------------------------------------------------
@@ -243,7 +269,8 @@ class Observation:
 
     def bench_payload(self) -> dict[str, Any]:
         """The ``BENCH_obs.json`` artifact body."""
-        server = self.timeseries.machines.get("server")
+        server_list = self.timeseries.server_series()
+        server = server_list[0] if server_list else None
         return {
             "schema": "repro-obs-bench-v1",
             "sample_interval": self.config.sample_interval,
@@ -269,8 +296,8 @@ class Observation:
     def render_summary(self) -> str:
         """A text block for the experiment report / CLI output."""
         machines = len(self.timeseries.machines)
-        server = self.timeseries.machines.get("server")
-        samples = len(server.times) if server else 0
+        server_list = self.timeseries.server_series()
+        samples = len(server_list[0].times) if server_list else 0
         lines = [
             "Observability (repro.obs)",
             f"  counter timeseries : {machines} machines x {samples} samples "

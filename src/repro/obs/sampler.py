@@ -127,6 +127,20 @@ class CounterTimeseries:
             if name.startswith("client-")
         ]
 
+    def server_series(self) -> list[MachineSeries]:
+        """Per-shard server series, in shard order.
+
+        A single-server replay has one series named ``"server"``; a
+        sharded replay has ``"server-0"`` .. ``"server-N-1"`` (and no
+        plain ``"server"``).
+        """
+        if "server" in self.machines:
+            return [self.machines["server"]]
+        return [
+            series for name, series in sorted(self.machines.items())
+            if name.startswith("server-")
+        ]
+
     # --- columnar persistence (codec tag O) -------------------------------
 
     def to_payload(self) -> tuple:
@@ -194,20 +208,29 @@ class CounterSampler:
         self.on_sample = on_sample
         self._engine: "Engine | None" = None
         self._clients: Sequence["ClientKernel"] = ()
-        self._server: "Server | None" = None
+        self._servers: list["Server"] = []
+        #: Parallel to ``_servers``: each shard's machine name.  A lone
+        #: server keeps the historical ``"server"``; shards are
+        #: ``"server-<id>"``.
+        self._server_names: list[str] = []
         self._timer: RecurringTimer | None = None
 
     def attach(
         self,
         engine: "Engine",
         clients: Sequence["ClientKernel"],
-        server: "Server",
+        server: "Server | Sequence[Server]",
     ) -> None:
         if self._engine is not None:
             raise SimulationError("sampler already attached")
         self._engine = engine
         self._clients = list(clients)
-        self._server = server
+        servers = [server] if not isinstance(server, (list, tuple)) else list(server)
+        self._servers = servers
+        if len(servers) == 1:
+            self._server_names = ["server"]
+        else:
+            self._server_names = [f"server-{s.server_id}" for s in servers]
         for client in self._clients:
             self.timeseries.machines[f"client-{client.client_id}"] = (
                 MachineSeries(
@@ -215,9 +238,10 @@ class CounterSampler:
                     fields=CLIENT_FIELDS, times=[], rows=[],
                 )
             )
-        self.timeseries.machines["server"] = MachineSeries(
-            machine="server", fields=SERVER_FIELDS, times=[], rows=[],
-        )
+        for name in self._server_names:
+            self.timeseries.machines[name] = MachineSeries(
+                machine=name, fields=SERVER_FIELDS, times=[], rows=[],
+            )
         self.sample()  # the baseline: integration starts from here
         self._timer = RecurringTimer(
             engine, self.timeseries.sample_interval, self.sample
@@ -226,7 +250,7 @@ class CounterSampler:
 
     def sample(self) -> None:
         """Read every machine's counters at the current simulated time."""
-        assert self._engine is not None and self._server is not None
+        assert self._engine is not None and self._servers
         now = self._engine.now
         for client in self._clients:
             client.snapshot_sizes()  # refresh gauges, as snapshots do
@@ -236,12 +260,13 @@ class CounterSampler:
             series.rows.append(
                 tuple(getattr(counters, name) for name in CLIENT_FIELDS)
             )
-        series = self.timeseries.machines["server"]
-        counters = self._server.counters
-        series.times.append(now)
-        series.rows.append(
-            tuple(getattr(counters, name) for name in SERVER_FIELDS)
-        )
+        for server, name in zip(self._servers, self._server_names):
+            series = self.timeseries.machines[name]
+            counters = server.counters
+            series.times.append(now)
+            series.rows.append(
+                tuple(getattr(counters, name) for name in SERVER_FIELDS)
+            )
         if self.on_sample is not None:
             self.on_sample(now)
 
@@ -252,7 +277,7 @@ class CounterSampler:
             self._timer = None
         if self._engine is None:
             return
-        server_times = self.timeseries.machines["server"].times
+        server_times = self.timeseries.machines[self._server_names[0]].times
         if not server_times or server_times[-1] < now:
             self.sample()
 
@@ -261,12 +286,19 @@ def verify_integration(
     timeseries: CounterTimeseries,
     final_counters: dict[int, ClientCounters],
     server_counters: ServerCounters,
+    per_server_counters: Sequence[ServerCounters] | None = None,
 ) -> list[str]:
     """Check sum-of-deltas == end-of-run aggregate for every counter.
 
     Returns a list of mismatches (empty = the timeseries integrates to
     exactly the Table 4-9 inputs).  Used by the obs test suite and handy
     for ad-hoc sanity checks on saved timeseries.
+
+    A sharded replay samples ``server-0`` .. ``server-N-1`` instead of
+    ``server``; pass the result's ``per_server_counters`` and each
+    shard's series is checked against its own final counters (the
+    aggregate ``server_counters`` is then implied, being the field-wise
+    sum of the shards).
     """
     problems: list[str] = []
 
@@ -289,5 +321,17 @@ def verify_integration(
 
     for client_id, counters in sorted(final_counters.items()):
         check(timeseries.series(f"client-{client_id}"), CLIENT_FIELDS, counters)
-    check(timeseries.series("server"), SERVER_FIELDS, server_counters)
+    if "server" in timeseries.machines:
+        check(timeseries.series("server"), SERVER_FIELDS, server_counters)
+    elif per_server_counters is not None:
+        for server_id, counters in enumerate(per_server_counters):
+            check(
+                timeseries.series(f"server-{server_id}"),
+                SERVER_FIELDS, counters,
+            )
+    else:
+        problems.append(
+            "no 'server' series and no per_server_counters to check the "
+            f"per-shard series against; have {sorted(timeseries.machines)}"
+        )
     return problems

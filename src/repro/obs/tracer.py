@@ -29,13 +29,22 @@ import os
 from dataclasses import dataclass, field
 from typing import Any
 
-#: pid assigned to the server's timeline.
+#: pid assigned to the server's timeline (server 0 in a sharded cluster).
 SERVER_PID = 0
 
 
 def client_pid(client_id: int) -> int:
     """The trace pid for a client machine (server holds pid 0)."""
     return client_id + 1
+
+
+def server_pid(server_id: int) -> int:
+    """The trace pid for a server shard.
+
+    Shard 0 keeps the historical pid 0; extra shards take the negative
+    pids, which clients (pids >= 1) can never collide with.
+    """
+    return -server_id
 
 
 def _us(seconds: float) -> int:

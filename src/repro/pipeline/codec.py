@@ -385,6 +385,10 @@ def _encode_replay(result: ClusterResult) -> bytes:
                 cid: [(s.time, s.client_id, client_row(s.counters)) for s in snaps]
                 for cid, snaps in result.snapshots.items()
             },
+            tuple(
+                tuple(getattr(c, n) for n in _SERVER_FIELDS)
+                for c in result.per_server_counters
+            ),
         ),
         _MARSHAL_VERSION,
     )
@@ -402,7 +406,13 @@ def _encode_replay(result: ClusterResult) -> bytes:
 
 def _decode_replay(body: bytes) -> ClusterResult:
     state = pickle.loads(body)
-    server_row, final_rows, snapshot_rows = marshal.loads(state["counters"])
+    unpacked = marshal.loads(state["counters"])
+    if len(unpacked) == 4:
+        server_row, final_rows, snapshot_rows, per_server_rows = unpacked
+    else:
+        # Pre-sharding payload: one server, its aggregate IS the shard.
+        server_row, final_rows, snapshot_rows = unpacked
+        per_server_rows = (server_row,)
     make_client = _make_maker(ClientCounters, _CLIENT_FIELDS, (), offset=0)
     make_server = _make_maker(ServerCounters, _SERVER_FIELDS, (), offset=0)
     _new, _osa = object.__new__, object.__setattr__
@@ -426,6 +436,9 @@ def _decode_replay(body: bytes) -> ClusterResult:
         final_counters=final_counters,
         server_counters=make_server(server_row),
         records_replayed=state["records_replayed"],
+        per_server_counters=tuple(
+            make_server(row) for row in per_server_rows
+        ),
     )
 
 

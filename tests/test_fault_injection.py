@@ -23,6 +23,7 @@ from repro.fs import (
     run_cluster_on_trace,
 )
 from repro.fs.faults import retries_for_wait
+from repro.fs.rpc import BackoffPolicy
 from repro.common.rng import RngStream
 
 KB = 1024
@@ -76,8 +77,17 @@ class TestFaultConfig:
 
 class TestFaultEvent:
     def test_server_crash_must_target_server(self):
+        # A server id >= 0 or SERVER_TARGET is valid (sharded clusters
+        # target individual servers); anything below -1 is not.
         with pytest.raises(ConfigError):
-            FaultEvent(0.0, FaultKind.SERVER_CRASH, 3, 10.0)
+            FaultEvent(0.0, FaultKind.SERVER_CRASH, -2, 10.0)
+
+    def test_server_crash_accepts_shard_targets(self):
+        assert FaultEvent(0.0, FaultKind.SERVER_CRASH, 3, 10.0).target == 3
+        assert (
+            FaultEvent(0.0, FaultKind.SERVER_CRASH, SERVER_TARGET, 10.0).target
+            == SERVER_TARGET
+        )
 
     def test_client_fault_needs_client_target(self):
         with pytest.raises(ConfigError):
@@ -93,20 +103,29 @@ class TestFaultEvent:
 
 
 class TestBackoff:
+    @staticmethod
+    def attempts(config, wait):
+        return BackoffPolicy.from_config(config).attempts_for_wait(wait)
+
     def test_single_attempt_for_tiny_wait(self):
-        assert retries_for_wait(FaultConfig(), 0.05) == 1
+        assert self.attempts(FaultConfig(), 0.05) == 1
 
     def test_exponential_series(self):
         # Delays 0.1, 0.2, 0.4 reach a cumulative 0.7 >= 0.5 on the
         # third attempt.
-        assert retries_for_wait(FaultConfig(), 0.5) == 3
+        assert self.attempts(FaultConfig(), 0.5) == 3
 
     def test_backoff_caps_at_max(self):
         config = FaultConfig(
             rpc_initial_backoff=1.0, rpc_backoff_factor=2.0, rpc_max_backoff=2.0
         )
         # Delays 1, 2, 2, 2, ... -> 60 seconds needs 1 + ceil(59/2) = 31.
-        assert retries_for_wait(config, 60.0) == 31
+        assert self.attempts(config, 60.0) == 31
+
+    def test_deprecated_shim_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="attempts_for_wait"):
+            legacy = retries_for_wait(FaultConfig(), 0.5)
+        assert legacy == self.attempts(FaultConfig(), 0.5)
 
 
 class TestFaultSchedule:
@@ -173,6 +192,11 @@ class TestServerCrash:
         assert len(cluster.server.cache) == 0
         assert state.version == version_before  # durable on disk
         assert cluster.server.counters.crashes == 1
+        # Downtime is booked from real timestamps at recovery, not
+        # predicted at crash time.
+        assert cluster.server.counters.downtime_seconds == 0.0
+        cluster.engine.run_until(50.0)
+        cluster.recover_server()
         assert cluster.server.counters.downtime_seconds == pytest.approx(50.0)
 
     def test_reopen_reregisters_open_files(self):

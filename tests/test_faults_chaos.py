@@ -62,7 +62,7 @@ class AuditingCluster(Cluster):
         self.audit_failures: list[str] = []
         self.recoveries_audited = 0
 
-    def recover_server(self) -> None:
+    def recover_server(self, server_id: int = 0) -> None:
         now = self.engine.now
         before = {
             client.client_id: (
@@ -72,7 +72,7 @@ class AuditingCluster(Cluster):
             for client in self.clients
             if client.reachable(now)
         }
-        super().recover_server()
+        super().recover_server(server_id)
         self.recoveries_audited += 1
         for client in self.clients:
             if client.client_id not in before:

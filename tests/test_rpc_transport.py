@@ -136,7 +136,9 @@ class TestBackoffPolicy:
         config = FaultConfig()
         policy = BackoffPolicy.from_config(config)
         for wait in (0.05, 0.5, 7.0, 60.0):
-            assert policy.attempts_for_wait(wait) == retries_for_wait(config, wait)
+            with pytest.warns(DeprecationWarning):
+                legacy = retries_for_wait(config, wait)
+            assert policy.attempts_for_wait(wait) == legacy
 
     def test_next_delay_doubles_to_cap(self):
         policy = BackoffPolicy(initial=1.0, factor=2.0, cap=3.0)
