@@ -15,15 +15,22 @@ variables control it:
   other value is the cache directory (default: the library default,
   ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
 
-At session end the build's timing lands in
-``benchmarks/BENCH_pipeline.json``: per-stage wall seconds, worker
-count, and cache hit/miss/store counts.
+Machine-readable results land in ``benchmarks/BENCH_*.json``, all
+written through :func:`write_bench_json` so every report carries the
+same envelope: a schema version, the git commit it was measured at, and
+the machine it ran on.  ``BENCH_replay.json`` and ``BENCH_scale.json``
+are *committed* artifacts (like the golden tables): regenerate them
+with ``pytest benchmarks/test_bench_replay.py --regen-bench`` after an
+intentional performance change and review the diff.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import platform
+import subprocess
+import time
 from pathlib import Path
 
 import pytest
@@ -35,6 +42,25 @@ from repro.experiments import ExperimentContext
 #: absolute magnitudes.
 BENCH_SCALE = 0.05
 
+#: Envelope version for every BENCH_*.json written here.  Bump when the
+#: envelope keys (not the per-bench payload) change shape.
+BENCH_SCHEMA_VERSION = 1
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--regen-bench",
+        action="store_true",
+        default=False,
+        help=(
+            "Rewrite the committed benchmarks/BENCH_replay.json and "
+            "BENCH_scale.json from fresh measurements instead of "
+            "comparing against them (the bench twin of --regen-golden). "
+            "Use after an intentional performance change; review the "
+            "diff."
+        ),
+    )
+
 
 def _bench_workers() -> int:
     return int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
@@ -45,6 +71,84 @@ def _bench_cache() -> bool | str:
     if value.lower() == "off":
         return False
     return value or True
+
+
+# --- the unified bench-report writer ----------------------------------------
+
+
+def _git_commit() -> str | None:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return None
+    commit = proc.stdout.strip()
+    return commit if proc.returncode == 0 and commit else None
+
+
+def _machine_info() -> dict:
+    return {
+        "implementation": platform.python_implementation(),
+        "python": platform.python_version(),
+        "system": platform.system(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def calibration_seconds(repeats: int = 3) -> float:
+    """Wall clock of a fixed pure-Python workload (best of ``repeats``).
+
+    Dividing a bench's wall seconds by this cancels raw machine speed to
+    first order, so committed reports from one machine remain a usable
+    regression baseline on another.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        acc = 0
+        for i in range(2_000_000):
+            acc += i & 7
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write ``benchmarks/<name>`` with the shared report envelope.
+
+    ``payload`` keys land at the top level next to ``schema_version``,
+    ``commit``, and ``machine`` (those three names are reserved).
+    """
+    reserved = {"schema_version", "commit", "machine"} & payload.keys()
+    if reserved:
+        raise ValueError(f"payload shadows envelope keys: {sorted(reserved)}")
+    document = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "commit": _git_commit(),
+        "machine": _machine_info(),
+        **payload,
+    }
+    out = Path(__file__).parent / name
+    out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def load_bench_json(name: str) -> dict | None:
+    """Read a committed bench report, or None if absent."""
+    path = Path(__file__).parent / name
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+# --- session fixtures --------------------------------------------------------
 
 
 @pytest.fixture(scope="session")
@@ -75,5 +179,4 @@ def pytest_sessionfinish(session) -> None:
     report["workers"] = context.workers
     cache = context._artifact_cache
     report["cache"] = cache.stats.as_dict() if cache is not None else None
-    out = Path(__file__).parent / "BENCH_pipeline.json"
-    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    write_bench_json("BENCH_pipeline.json", report)

@@ -13,21 +13,13 @@ reports how the Section 5 results move:
 
 from __future__ import annotations
 
-from dataclasses import fields
-
-
 from repro.caching import compute_cache_sizes, compute_effectiveness, machine_days
 from repro.fs import ClusterConfig, run_cluster_on_trace
 from repro.fs.counters import ClientCounters
 
 
 def _aggregate(result) -> ClientCounters:
-    total = ClientCounters()
-    for counters in result.final_counters.values():
-        for field in fields(counters):
-            name = field.name
-            setattr(total, name, getattr(total, name) + getattr(counters, name))
-    return total
+    return ClientCounters.aggregate(result.final_counters.values())
 
 
 def _replay(ctx, config: ClusterConfig):

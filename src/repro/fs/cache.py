@@ -36,7 +36,7 @@ class CleanReason(enum.Enum):
     RECOVERY = "crash_recovery_replay"  # overdue writes replayed after an outage
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheBlock:
     """One resident 4-Kbyte block."""
 
@@ -151,6 +151,17 @@ class BlockCache:
             out.append(block)
         return out
 
+    def oldest_dirty_since(self) -> float | None:
+        """O(1) peek at the oldest dirty stamp.
+
+        None when nothing is dirty *or* the ordering invariant is broken
+        (out-of-order stamps outstanding) -- callers must treat None as
+        "don't know, do the full query", not as "no dirty data".
+        """
+        if not self._dirty or self._out_of_order:
+            return None
+        return next(iter(self._dirty.values())).dirty_since
+
     def resident_files(self) -> list[int]:
         """Ids of every file with at least one resident block."""
         return list(self._by_file)
@@ -172,15 +183,32 @@ class BlockCache:
         self._blocks.move_to_end(key)
         return block
 
+    def touch_if_present(self, key: BlockKey, now: float) -> CacheBlock | None:
+        """Touch and return the block, or None on a miss.
+
+        One call doing what ``key in cache`` + ``touch`` did in two --
+        the read path asks this for every block of every read run.
+        """
+        block = self._blocks.get(key)
+        if block is not None:
+            block.last_referenced = now
+            self._blocks.move_to_end(key)
+        return block
+
     def insert(self, key: BlockKey, now: float, migrated: bool = False) -> CacheBlock:
         """Insert a clean block (fetched or about to be overwritten)."""
-        if key in self._blocks:
+        blocks = self._blocks
+        if key in blocks:
             raise CacheError(f"double insert of block {key}")
-        block = CacheBlock(
-            file_id=key[0], index=key[1], last_referenced=now, migrated=migrated
-        )
-        self._blocks[key] = block
-        self._by_file.setdefault(key[0], set()).add(key)
+        file_id = key[0]
+        block = CacheBlock(file_id, key[1], False, -1.0, now, migrated, 0)
+        blocks[key] = block
+        by_file = self._by_file
+        keys = by_file.get(file_id)
+        if keys is None:
+            by_file[file_id] = {key}
+        else:
+            keys.add(key)
         return block
 
     def mark_dirty(self, key: BlockKey, now: float, migrated: bool = False) -> None:

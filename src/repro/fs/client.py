@@ -37,7 +37,60 @@ from repro.fs.rpc import RpcTransport
 from repro.fs.server import Server
 from repro.fs.sharding import Placement
 from repro.sim.engine import Engine
-from repro.sim.timers import RecurringTimer
+from repro.sim.timers import RecurringTimer, SharedTicker
+
+# Bound counter positions for the hot paths.  The generated attribute
+# properties cost a Python call per bump; the per-block loops below bump
+# the flat value list directly through these indexes instead (see
+# ClientCounters.INDEX).
+_IDX = ClientCounters.INDEX
+_FILE_OPEN_OPS = _IDX["file_open_ops"]
+_FILE_BYTES_READ = _IDX["file_bytes_read"]
+_FILE_BYTES_WRITTEN = _IDX["file_bytes_written"]
+_SHARED_BYTES_READ = _IDX["shared_bytes_read"]
+_SHARED_BYTES_WRITTEN = _IDX["shared_bytes_written"]
+_PAGING_CODE_BYTES = _IDX["paging_code_bytes"]
+_PAGING_DATA_BYTES = _IDX["paging_data_bytes"]
+_CACHE_READ_OPS = _IDX["cache_read_ops"]
+_CACHE_READ_MISSES = _IDX["cache_read_misses"]
+_CACHE_READ_MISS_BYTES = _IDX["cache_read_miss_bytes"]
+_CACHE_WRITE_OPS = _IDX["cache_write_ops"]
+_CACHE_WRITE_BYTES = _IDX["cache_write_bytes"]
+_WRITE_FETCH_OPS = _IDX["write_fetch_ops"]
+_WRITE_FETCH_BYTES = _IDX["write_fetch_bytes"]
+_MIGRATED_READ_OPS = _IDX["migrated_read_ops"]
+_MIGRATED_READ_MISSES = _IDX["migrated_read_misses"]
+_MIGRATED_READ_BYTES = _IDX["migrated_read_bytes"]
+_MIGRATED_READ_MISS_BYTES = _IDX["migrated_read_miss_bytes"]
+_MIGRATED_WRITE_OPS = _IDX["migrated_write_ops"]
+_MIGRATED_WRITE_BYTES = _IDX["migrated_write_bytes"]
+_MIGRATED_WRITE_FETCH_OPS = _IDX["migrated_write_fetch_ops"]
+_PAGING_READ_OPS = _IDX["paging_read_ops"]
+_PAGING_READ_MISSES = _IDX["paging_read_misses"]
+_PAGING_READ_MISS_BYTES = _IDX["paging_read_miss_bytes"]
+_STALE_READS_SERVED = _IDX["stale_reads_served"]
+_STALE_READ_BYTES = _IDX["stale_read_bytes"]
+_BLOCKS_DIRTIED = _IDX["blocks_dirtied"]
+_BYTES_WRITTEN_TO_SERVER = _IDX["bytes_written_to_server"]
+_BLOCKS_REPLACED_FOR_FILE = _IDX["blocks_replaced_for_file"]
+_REPLACE_AGE_SUM_FILE = _IDX["replace_age_sum_file"]
+#: CleanReason -> (count index, age-sum index) for _clean_block.
+_CLEAN_IDX = {
+    CleanReason.DELAY: (_IDX["blocks_cleaned_delay"], _IDX["clean_age_sum_delay"]),
+    CleanReason.FSYNC: (_IDX["blocks_cleaned_fsync"], _IDX["clean_age_sum_fsync"]),
+    CleanReason.RECALL: (
+        _IDX["blocks_cleaned_recall"], _IDX["clean_age_sum_recall"]
+    ),
+    CleanReason.VM: (_IDX["blocks_cleaned_vm"], _IDX["clean_age_sum_vm"]),
+    CleanReason.RECOVERY: (
+        _IDX["blocks_cleaned_recovery"], _IDX["clean_age_sum_recovery"]
+    ),
+}
+
+
+def _shard_zero(file_id: int) -> int:
+    """``_shard_of`` for single-server clusters (bound per instance)."""
+    return 0
 
 
 class ClientKernel:
@@ -65,6 +118,7 @@ class ClientKernel:
         channel_rng: RngStream | Sequence[RngStream | None] | None = None,
         oracle: ProtocolOracle | None = None,
         placement: Placement | None = None,
+        ticker: SharedTicker | None = None,
     ) -> None:
         self.client_id = client_id
         self.config = config
@@ -93,10 +147,16 @@ class ClientKernel:
         self.obs = None
         self._known_version: dict[int, int] = {}
         self._uncacheable: set[int] = set()
-        self._daemon = RecurringTimer(
-            engine, config.writeback_scan_interval, self._writeback_scan
-        )
-        self._daemon.start()
+        # The 5-second writeback daemon.  Inside a cluster every client
+        # shares one coalesced tick (one heap event per interval for the
+        # whole cluster); standalone clients keep a private timer.
+        if ticker is not None:
+            self._daemon = ticker.subscribe(self._writeback_scan)
+        else:
+            self._daemon = RecurringTimer(
+                engine, config.writeback_scan_interval, self._writeback_scan
+            )
+            self._daemon.start()
         self._max_cache_blocks = max(
             1, int(config.client_page_count * config.max_cache_fraction)
         )
@@ -111,6 +171,11 @@ class ClientKernel:
         #: file_id -> [read opens, write opens] held by this client;
         #: what the reopen protocol re-registers after a server crash.
         self._open_files: dict[int, list[int]] = {}
+        if len(servers) == 1:
+            # Single-server cluster: every file lives on shard 0, so
+            # skip the placement hash (an instance attribute shadows
+            # the method -- it is called on every open/close/read/write).
+            self._shard_of = _shard_zero
 
     # --- shard routing -----------------------------------------------------------
 
@@ -125,6 +190,7 @@ class ClientKernel:
         return self.transports[0]
 
     def _shard_of(self, file_id: int) -> int:
+        # Shadowed by ``_shard_zero`` on single-server clusters.
         return self.placement.shard_of(file_id)
 
     def _server_for(self, file_id: int) -> Server:
@@ -429,21 +495,22 @@ class ClientKernel:
             return
         paging = paging_kind is not None
         shard = self._shard_of(file_id)
+        counters = self.counters._values
         if file_id in self._uncacheable:
-            self.counters.shared_bytes_read += length
+            counters[_SHARED_BYTES_READ] += length
             if self.await_server(now, data_op=True, shard=shard):
                 self.transports[shard].call(
                     now, "passthrough_read", file_id, length
                 )
             return
         if paging_kind == "code":
-            self.counters.paging_code_bytes += length
+            counters[_PAGING_CODE_BYTES] += length
         elif paging_kind == "data":
-            self.counters.paging_data_bytes += length
+            counters[_PAGING_DATA_BYTES] += length
         else:
-            self.counters.file_bytes_read += length
+            counters[_FILE_BYTES_READ] += length
             if migrated:
-                self.counters.migrated_read_bytes += length
+                counters[_MIGRATED_READ_BYTES] += length
 
         # Faults: while the file's server is unreachable, cache hits may
         # serve stale bytes (the durable version moved on without us) and
@@ -457,28 +524,47 @@ class ClientKernel:
         )
         fetch_allowed: bool | None = None
 
+        cache = self.cache
+        transport_call = self.transports[shard].call
         block_size = self.config.block_size
+        end = offset + length
         first = offset // block_size
-        last = (offset + length - 1) // block_size
+        last = (end - 1) // block_size
+        # Per-block op counters bump once for the whole run: nothing
+        # samples counters mid-call, so the aggregate is identical.
+        n_blocks = last - first + 1
+        counters[_CACHE_READ_OPS] += n_blocks
+        if paging:
+            counters[_PAGING_READ_OPS] += n_blocks
+        if migrated:
+            counters[_MIGRATED_READ_OPS] += n_blocks
+        blocks = cache._blocks
+        blocks_get = blocks.get
+        move_to_end = blocks.move_to_end
         for index in range(first, last + 1):
-            block_start = index * block_size
-            overlap = min(offset + length, block_start + block_size) - max(
-                offset, block_start
-            )
-            self.counters.cache_read_ops += 1
-            if paging:
-                self.counters.paging_read_ops += 1
-            if migrated:
-                self.counters.migrated_read_ops += 1
             key = (file_id, index)
-            if key in self.cache:
-                self.cache.touch(key, now)
+            block = blocks_get(key)
+            if block is not None:
+                # Inlined cache.touch_if_present -- the hottest path of
+                # the whole replay; the overlap arithmetic is skipped
+                # entirely on a healthy hit.
+                block.last_referenced = now
+                move_to_end(key)
                 if stale:
-                    self.counters.stale_reads_served += 1
-                    self.counters.stale_read_bytes += overlap
+                    block_start = index * block_size
+                    block_end = block_start + block_size
+                    counters[_STALE_READS_SERVED] += 1
+                    counters[_STALE_READ_BYTES] += (
+                        end if end < block_end else block_end
+                    ) - (offset if offset > block_start else block_start)
                 continue
+            block_start = index * block_size
+            block_end = block_start + block_size
+            overlap = (end if end < block_end else block_end) - (
+                offset if offset > block_start else block_start
+            )
             # Miss: fetch from the server and install.
-            self.counters.cache_read_misses += 1
+            counters[_CACHE_READ_MISSES] += 1
             if unreachable:
                 if fetch_allowed is None:
                     fetch_allowed = self.await_server(
@@ -486,20 +572,18 @@ class ClientKernel:
                     )
                 if not fetch_allowed:
                     continue  # dropped transfer: nothing crossed the wire
-            self.counters.cache_read_miss_bytes += overlap
+            counters[_CACHE_READ_MISS_BYTES] += overlap
             if paging:
-                self.counters.paging_read_misses += 1
-                self.counters.paging_read_miss_bytes += overlap
+                counters[_PAGING_READ_MISSES] += 1
+                counters[_PAGING_READ_MISS_BYTES] += overlap
             if migrated:
-                self.counters.migrated_read_misses += 1
-                self.counters.migrated_read_miss_bytes += overlap
-            self.transports[shard].call(
-                now, "fetch_block", file_id, index, overlap
-            )
+                counters[_MIGRATED_READ_MISSES] += 1
+                counters[_MIGRATED_READ_MISS_BYTES] += overlap
+            transport_call(now, "fetch_block", file_id, index, overlap)
             if self.obs is not None:
                 self.obs.on_block_fetch(now, self.client_id, file_id, index, overlap)
             self._make_room(now)
-            block = self.cache.insert(key, now, migrated=migrated)
+            block = cache.insert(key, now, migrated=migrated)
             block.written_end = block_size  # a fetched block is full
 
     def write(
@@ -514,17 +598,18 @@ class ClientKernel:
         if length <= 0:
             return
         shard = self._shard_of(file_id)
+        counters = self.counters._values
         if file_id in self._uncacheable:
-            self.counters.shared_bytes_written += length
+            counters[_SHARED_BYTES_WRITTEN] += length
             if self.await_server(now, data_op=True, shard=shard):
                 self.transports[shard].call(
                     now, "passthrough_write", file_id, length
                 )
             return
-        self.counters.file_bytes_written += length
-        self.counters.cache_write_bytes += length
+        counters[_FILE_BYTES_WRITTEN] += length
+        counters[_CACHE_WRITE_BYTES] += length
         if migrated:
-            self.counters.migrated_write_bytes += length
+            counters[_MIGRATED_WRITE_BYTES] += length
 
         # Faults: write fetches need the server; when one is dropped in
         # "fail" mode the write degrades to an unfetched overwrite (the
@@ -535,18 +620,23 @@ class ClientKernel:
         if unreachable and self.config.write_through:
             self.await_server(now, shard=shard)
 
+        cache = self.cache
         block_size = self.config.block_size
         first = offset // block_size
         last = (offset + length - 1) // block_size
+        n_blocks = last - first + 1
+        counters[_CACHE_WRITE_OPS] += n_blocks
+        if migrated:
+            counters[_MIGRATED_WRITE_OPS] += n_blocks
+        blocks = cache._blocks
+        blocks_get = blocks.get
+        write_through = self.config.write_through
         for index in range(first, last + 1):
             block_start = index * block_size
             begin = max(offset, block_start)
             end = min(offset + length, block_start + block_size)
-            self.counters.cache_write_ops += 1
-            if migrated:
-                self.counters.migrated_write_ops += 1
             key = (file_id, index)
-            block = self.cache.get(key)
+            block = blocks_get(key)
             if block is None:
                 partial = begin > block_start or end < block_start + block_size
                 overwrites_existing = begin > block_start
@@ -560,10 +650,10 @@ class ClientKernel:
                 if fetch:
                     # Partial write of a non-resident block: fetch it
                     # first (Table 6's "write fetch").
-                    self.counters.write_fetch_ops += 1
-                    self.counters.write_fetch_bytes += block_size
+                    counters[_WRITE_FETCH_OPS] += 1
+                    counters[_WRITE_FETCH_BYTES] += block_size
                     if migrated:
-                        self.counters.migrated_write_fetch_ops += 1
+                        counters[_MIGRATED_WRITE_FETCH_OPS] += 1
                     self.transports[shard].call(
                         now, "fetch_block", file_id, index, block_size
                     )
@@ -572,17 +662,25 @@ class ClientKernel:
                             now, self.client_id, file_id, index, block_size
                         )
                     self._make_room(now)
-                    block = self.cache.insert(key, now, migrated=migrated)
+                    block = cache.insert(key, now, migrated=migrated)
                     block.written_end = block_size
                 else:
                     self._make_room(now)
-                    block = self.cache.insert(key, now, migrated=migrated)
+                    block = cache.insert(key, now, migrated=migrated)
                     block.written_end = 0
-            if not block.dirty:
-                self.counters.blocks_dirtied += 1
-            self.cache.mark_dirty(key, now, migrated=migrated)
-            block.written_end = max(block.written_end, end - block_start)
-            if self.config.write_through:
+            if block.dirty:
+                # Inlined mark_dirty fast path: an already-dirty block
+                # only needs its LRU position and reference refreshed.
+                block.last_referenced = now
+                if migrated:
+                    block.migrated = True
+                blocks.move_to_end(key)
+            else:
+                counters[_BLOCKS_DIRTIED] += 1
+                cache.mark_dirty(key, now, migrated=migrated)
+            if block.written_end < end - block_start:
+                block.written_end = end - block_start
+            if write_through:
                 self._clean_block(now, block, CleanReason.FSYNC)
 
     def fsync_file(self, now: float, file_id: int) -> None:
@@ -648,7 +746,7 @@ class ClientKernel:
         if self._spare_pages > 0:
             self._spare_pages -= 1
             return
-        if len(self.cache) < self._max_cache_blocks:
+        if len(self.cache._blocks) < self._max_cache_blocks:
             if self.vm.claim_for_cache(now, 1) == 1:
                 return
         victim = self.cache.lru_block()
@@ -663,9 +761,12 @@ class ClientKernel:
             # Rare: a dirty block reached the LRU end before the daemon
             # cleaned it.  Write it back before reuse.
             self._clean_block(now, victim, CleanReason.VM)
-        age = max(0.0, now - victim.last_referenced)
-        self.counters.blocks_replaced_for_file += 1
-        self.counters.replace_age_sum_file += age
+        age = now - victim.last_referenced
+        if age < 0.0:
+            age = 0.0
+        counters = self.counters._values
+        counters[_BLOCKS_REPLACED_FOR_FILE] += 1
+        counters[_REPLACE_AGE_SUM_FILE] += age
         if self.obs is not None:
             self.obs.on_evict(now, self.client_id, "for_file", age)
         self.cache.remove(victim.key)
@@ -697,6 +798,10 @@ class ClientKernel:
 
     def _writeback_scan(self) -> None:
         """The 5-second daemon: clean files with 30-second-old data."""
+        cache = self.cache
+        if not cache._dirty:
+            # Nothing dirty anywhere: the overwhelmingly common scan.
+            return
         now = self.engine.now
         if not self.up or now < self.partition_until:
             # Dead machine or partitioned: the daemon does not retry --
@@ -704,7 +809,10 @@ class ClientKernel:
             # the first scan after the outage ends).
             return
         cutoff = now - self.config.writeback_delay
-        old_blocks = self.cache.dirty_blocks_older_than(cutoff)
+        oldest = cache.oldest_dirty_since()
+        if oldest is not None and oldest > cutoff:
+            return  # dirty data exists but none of it is 30s old yet
+        old_blocks = cache.dirty_blocks_older_than(cutoff)
         if not old_blocks:
             return
         # All dirty blocks of a file go when any block is 30s old.  A
@@ -730,25 +838,14 @@ class ClientKernel:
     def _clean_block(self, now: float, block: CacheBlock, reason: CleanReason) -> None:
         nbytes = max(1, min(block.written_end, self.config.block_size))
         age = max(0.0, now - block.dirty_since) if block.dirty_since >= 0 else 0.0
-        self._transport_for(block.file_id).call(
+        self.transports[self._shard_of(block.file_id)].call(
             now, "write_block", block.file_id, block.index, nbytes
         )
-        self.counters.bytes_written_to_server += nbytes
-        if reason is CleanReason.DELAY:
-            self.counters.blocks_cleaned_delay += 1
-            self.counters.clean_age_sum_delay += age
-        elif reason is CleanReason.FSYNC:
-            self.counters.blocks_cleaned_fsync += 1
-            self.counters.clean_age_sum_fsync += age
-        elif reason is CleanReason.RECALL:
-            self.counters.blocks_cleaned_recall += 1
-            self.counters.clean_age_sum_recall += age
-        elif reason is CleanReason.RECOVERY:
-            self.counters.blocks_cleaned_recovery += 1
-            self.counters.clean_age_sum_recovery += age
-        else:
-            self.counters.blocks_cleaned_vm += 1
-            self.counters.clean_age_sum_vm += age
+        counters = self.counters._values
+        counters[_BYTES_WRITTEN_TO_SERVER] += nbytes
+        count_index, age_index = _CLEAN_IDX[reason]
+        counters[count_index] += 1
+        counters[age_index] += age
         if self.obs is not None:
             self.obs.on_writeback(
                 now, self.client_id, reason.value, age, nbytes

@@ -197,31 +197,6 @@ class FaultConfig:
         )
 
 
-def retries_for_wait(config: FaultConfig, wait: float) -> int:
-    """RPC attempts an exponential-backoff loop makes over ``wait``
-    seconds of unavailability (at least one).
-
-    .. deprecated::
-        This analytic helper predates the message-level transport.  The
-        retransmission loop now lives in
-        :meth:`repro.fs.rpc.BackoffPolicy.attempts_for_wait`, which the
-        transport drives with *real* resends; this shim delegates to it
-        (the arithmetic is identical, keeping fault-era golden tables
-        byte-stable) and remains only for external callers.
-    """
-    import warnings
-
-    from repro.fs.rpc import BackoffPolicy
-
-    warnings.warn(
-        "retries_for_wait is deprecated; use "
-        "BackoffPolicy.from_config(config).attempts_for_wait(wait)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return BackoffPolicy.from_config(config).attempts_for_wait(wait)
-
-
 @dataclass
 class FaultSchedule:
     """A time-ordered list of fault events for one replay.

@@ -422,6 +422,10 @@ class RpcTransport:
         self._seq = 0
         #: Fast path: no message faults and no oracle to notify.
         self._direct = not self.channel.lossy and oracle is None
+        #: Prebound op table for the fast path: a direct call skips the
+        #: execute() frame entirely (the oracle re-check in call() keeps
+        #: an endpoint that gains an oracle later on the slow path).
+        self._endpoint_ops = self.endpoint._ops
         #: Optional observability hook (repro.obs); None keeps call()
         #: on its unobserved paths, byte-identical to an obs-free build.
         self.obs = None
@@ -435,6 +439,8 @@ class RpcTransport:
         if self.obs is not None:
             return self._call_observed(now, op, args)
         if self._direct:
+            if self.endpoint.oracle is None:
+                return self._endpoint_ops[op](now, *args)
             return self.endpoint.execute(now, self.client.client_id, op, args)
         return self._call_messaged(now, op, args)
 

@@ -24,6 +24,24 @@ from repro.fs.servercache import ServerCache
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.fs.client import ClientKernel
 
+# Bound counter positions for the per-RPC paths (see ClientCounters
+# notes in repro.fs.client -- same trick, the server side).
+_IDX = ServerCounters.INDEX
+_RPC_COUNT = _IDX["rpc_count"]
+_OPEN_RPCS = _IDX["open_rpcs"]
+_NAMING_RPCS = _IDX["naming_rpcs"]
+_BLOCK_READS = _IDX["block_reads"]
+_BLOCK_READ_BYTES = _IDX["block_read_bytes"]
+_BLOCK_WRITES = _IDX["block_writes"]
+_BLOCK_WRITE_BYTES = _IDX["block_write_bytes"]
+_PASSTHROUGH_READ_BYTES = _IDX["passthrough_read_bytes"]
+_PASSTHROUGH_WRITE_BYTES = _IDX["passthrough_write_bytes"]
+_PAGING_BYTES = _IDX["paging_bytes"]
+_SERVER_CACHE_HITS = _IDX["server_cache_hits"]
+_SERVER_CACHE_MISSES = _IDX["server_cache_misses"]
+_DISK_READS = _IDX["disk_reads"]
+_DISK_WRITES = _IDX["disk_writes"]
+
 
 @dataclass
 class FileServerState:
@@ -103,9 +121,13 @@ class Server:
         self, now: float, file_id: int, client_id: int, will_write: bool
     ) -> OpenReply:
         """Handle an open RPC; runs the three consistency mechanisms."""
-        self.counters.rpc_count += 1
-        self.counters.open_rpcs += 1
-        state = self.state_of(file_id)
+        counters = self.counters._values
+        counters[_RPC_COUNT] += 1
+        counters[_OPEN_RPCS] += 1
+        state = self._files.get(file_id)
+        if state is None:
+            state = FileServerState(file_id=file_id)
+            self._files[file_id] = state
 
         # Recall: if another client holds dirty data for this file, pull
         # it back so this open sees current bytes.
@@ -151,8 +173,9 @@ class Server:
         self, now: float, file_id: int, client_id: int, wrote: bool
     ) -> None:
         """Handle a close RPC."""
-        self.counters.rpc_count += 1
-        self.counters.naming_rpcs += 1
+        counters = self.counters._values
+        counters[_RPC_COUNT] += 1
+        counters[_NAMING_RPCS] += 1
         state = self.state_of(file_id)
         opens = state.writers if wrote else state.readers
         count = opens.get(client_id, 0)
@@ -308,44 +331,50 @@ class Server:
 
     def fetch_block(self, now: float, file_id: int, index: int, nbytes: int) -> None:
         """A client cache fetches a block (read miss or write fetch)."""
-        self.counters.rpc_count += 1
-        self.counters.block_reads += 1
-        self.counters.block_read_bytes += nbytes
+        counters = self.counters._values
+        counters[_RPC_COUNT] += 1
+        counters[_BLOCK_READS] += 1
+        counters[_BLOCK_READ_BYTES] += nbytes
         if self.cache.access(file_id, index, now):
-            self.counters.server_cache_hits += 1
+            counters[_SERVER_CACHE_HITS] += 1
         else:
-            self.counters.server_cache_misses += 1
-            self.counters.disk_reads += 1
+            counters[_SERVER_CACHE_MISSES] += 1
+            counters[_DISK_READS] += 1
 
     def write_block(self, now: float, file_id: int, index: int, nbytes: int) -> None:
         """A client writes back a dirty block."""
-        self.counters.rpc_count += 1
-        self.counters.block_writes += 1
-        self.counters.block_write_bytes += nbytes
+        counters = self.counters._values
+        counters[_RPC_COUNT] += 1
+        counters[_BLOCK_WRITES] += 1
+        counters[_BLOCK_WRITE_BYTES] += nbytes
         self.cache.install(file_id, index, now)
         # 30 seconds later the server's own daemon writes it to disk;
         # the model books the disk write immediately (same count).
-        self.counters.disk_writes += 1
+        counters[_DISK_WRITES] += 1
 
     def passthrough_read(self, now: float, file_id: int, nbytes: int) -> None:
         """An uncacheable read (shared file or directory)."""
-        self.counters.rpc_count += 1
-        self.counters.passthrough_read_bytes += nbytes
+        counters = self.counters._values
+        counters[_RPC_COUNT] += 1
+        counters[_PASSTHROUGH_READ_BYTES] += nbytes
 
     def passthrough_write(self, now: float, file_id: int, nbytes: int) -> None:
         """An uncacheable write (shared file)."""
-        self.counters.rpc_count += 1
-        self.counters.passthrough_write_bytes += nbytes
+        counters = self.counters._values
+        counters[_RPC_COUNT] += 1
+        counters[_PASSTHROUGH_WRITE_BYTES] += nbytes
 
     def paging_transfer(self, now: float, nbytes: int) -> None:
         """Backing-file paging traffic (never client-cached)."""
-        self.counters.rpc_count += 1
-        self.counters.paging_bytes += nbytes
+        counters = self.counters._values
+        counters[_RPC_COUNT] += 1
+        counters[_PAGING_BYTES] += nbytes
 
     def name_operation(self, now: float) -> None:
         """A naming RPC with no bulk data (delete, truncate, lookup)."""
-        self.counters.rpc_count += 1
-        self.counters.naming_rpcs += 1
+        counters = self.counters._values
+        counters[_RPC_COUNT] += 1
+        counters[_NAMING_RPCS] += 1
 
     def invalidate_file(self, file_id: int) -> None:
         """Drop all server state for a deleted file."""

@@ -4,6 +4,11 @@ The main file server had 128 Mbytes of memory, and "on file servers, the
 caches automatically adjust themselves to fill nearly all of memory"
 (Section 5.1).  The model is a plain LRU over block keys with a fixed
 byte capacity -- capacity negotiation matters on clients, not here.
+
+A per-file key index shadows the LRU so ``invalidate_file`` (every
+delete and truncate RPC) touches only the victim file's blocks instead
+of scanning the whole cache -- on a 128-Mbyte cache that scan used to
+dominate replay wall clock.
 """
 
 from __future__ import annotations
@@ -24,6 +29,8 @@ class ServerCache:
         self.capacity_blocks = max(1, capacity_bytes // block_size)
         self.block_size = block_size
         self._blocks: OrderedDict[tuple[int, int], float] = OrderedDict()
+        #: file_id -> resident block indexes (mirrors ``_blocks`` keys).
+        self._by_file: dict[int, set[int]] = {}
         self.hits = 0
         self.misses = 0
 
@@ -33,9 +40,9 @@ class ServerCache:
     def access(self, file_id: int, index: int, now: float) -> bool:
         """Read access; returns True on hit, installing on miss."""
         key = (file_id, index)
-        if key in self._blocks:
-            self._blocks.move_to_end(key)
-            self._blocks[key] = now
+        blocks = self._blocks
+        if key in blocks:
+            blocks.move_to_end(key)
             self.hits += 1
             return True
         self.misses += 1
@@ -45,11 +52,25 @@ class ServerCache:
     def install(self, file_id: int, index: int, now: float) -> None:
         """Place a block in the cache (after a disk read or writeback)."""
         key = (file_id, index)
-        if key in self._blocks:
-            self._blocks.move_to_end(key)
-        self._blocks[key] = now
-        while len(self._blocks) > self.capacity_blocks:
-            self._blocks.popitem(last=False)
+        blocks = self._blocks
+        if key in blocks:
+            blocks.move_to_end(key)
+        else:
+            by_file = self._by_file
+            members = by_file.get(file_id)
+            if members is None:
+                by_file[file_id] = {index}
+            else:
+                members.add(index)
+        blocks[key] = now
+        if len(blocks) > self.capacity_blocks:
+            by_file = self._by_file
+            while len(blocks) > self.capacity_blocks:
+                evicted_file, evicted_index = blocks.popitem(last=False)[0]
+                indexes = by_file[evicted_file]
+                indexes.discard(evicted_index)
+                if not indexes:
+                    del by_file[evicted_file]
 
     def clear(self) -> int:
         """Drop everything (a server crash loses the whole cache);
@@ -57,11 +78,15 @@ class ServerCache:
         cumulative across reboots and are kept."""
         count = len(self._blocks)
         self._blocks.clear()
+        self._by_file.clear()
         return count
 
     def invalidate_file(self, file_id: int) -> int:
         """Drop all blocks of one file; returns how many were dropped."""
-        victims = [key for key in self._blocks if key[0] == file_id]
-        for key in victims:
-            del self._blocks[key]
-        return len(victims)
+        indexes = self._by_file.pop(file_id, None)
+        if not indexes:
+            return 0
+        blocks = self._blocks
+        for index in indexes:
+            del blocks[(file_id, index)]
+        return len(indexes)

@@ -56,16 +56,19 @@ class VirtualMemory:
         #: Pages the VM may never take: the file cache's minimum size.
         self.cache_floor = cache_floor_pages
         self._aging: deque[_AgingBatch] = deque()
+        #: Running total of ``_aging`` pages -- ``free`` (and through it
+        #: every claim/demand) used to re-sum the whole deque per call.
+        self._aging_total = 0
 
     # --- inspection -----------------------------------------------------------
 
     @property
     def aging(self) -> int:
-        return sum(batch.pages for batch in self._aging)
+        return self._aging_total
 
     @property
     def free(self) -> int:
-        free = self.total_pages - self.active - self.aging - self.cache
+        free = self.total_pages - self.active - self._aging_total - self.cache
         if free < 0:
             raise SimulationError(
                 f"page accounting broken: active={self.active} "
@@ -103,6 +106,7 @@ class VirtualMemory:
                 break  # everything older is in front; nothing stealable
             take = min(batch.pages, pages - granted)
             batch.pages -= take
+            self._aging_total -= take
             if batch.pages == 0:
                 self._aging.popleft()
             self.cache += take
@@ -147,6 +151,7 @@ class VirtualMemory:
             batch = self._aging[-1]
             take = min(batch.pages, needed)
             batch.pages -= take
+            self._aging_total -= take
             if batch.pages == 0:
                 self._aging.pop()
             self.active += take
@@ -169,3 +174,4 @@ class VirtualMemory:
         self.active -= pages
         if pages:
             self._aging.append(_AgingBatch(released_at=now, pages=pages))
+            self._aging_total += pages

@@ -93,7 +93,14 @@ class Observation:
                 transport.obs = self
         if cluster.oracle is not None:
             cluster.oracle.obs = self
-        self.sampler.attach(cluster.engine, cluster.clients, servers)
+        shared_ticker = getattr(cluster, "shared_ticker", None)
+        self.sampler.attach(
+            cluster.engine, cluster.clients, servers,
+            ticker=(
+                shared_ticker(self.config.sample_interval)
+                if shared_ticker is not None else None
+            ),
+        )
 
     def finalize(self, now: float) -> None:
         """Close the run: take the final counter sample."""

@@ -23,20 +23,20 @@ compact columnar trick the artifact cache uses for replays.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.common.errors import SimulationError
 from repro.fs.counters import ClientCounters, ServerCounters
-from repro.sim.timers import RecurringTimer
+from repro.sim.timers import RecurringTimer, SharedTicker
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.fs.client import ClientKernel
     from repro.fs.server import Server
     from repro.sim.engine import Engine
 
-CLIENT_FIELDS: tuple[str, ...] = tuple(f.name for f in fields(ClientCounters))
-SERVER_FIELDS: tuple[str, ...] = tuple(f.name for f in fields(ServerCounters))
+CLIENT_FIELDS: tuple[str, ...] = ClientCounters.FIELDS
+SERVER_FIELDS: tuple[str, ...] = ServerCounters.FIELDS
 
 #: Instantaneous gauges (re-written at every snapshot) rather than
 #: cumulative counters: for these the end-of-run value is the *last*
@@ -213,14 +213,20 @@ class CounterSampler:
         #: server keeps the historical ``"server"``; shards are
         #: ``"server-<id>"``.
         self._server_names: list[str] = []
-        self._timer: RecurringTimer | None = None
+        #: Either a private RecurringTimer or a shared-tick subscription
+        #: (both expose ``stop()``).
+        self._timer = None
 
     def attach(
         self,
         engine: "Engine",
         clients: Sequence["ClientKernel"],
         server: "Server | Sequence[Server]",
+        ticker: SharedTicker | None = None,
     ) -> None:
+        """Start sampling.  ``ticker`` shares a cluster's coalesced tick
+        (one heap event per interval cluster-wide); without one the
+        sampler runs its own private timer."""
         if self._engine is not None:
             raise SimulationError("sampler already attached")
         self._engine = engine
@@ -243,10 +249,13 @@ class CounterSampler:
                 machine=name, fields=SERVER_FIELDS, times=[], rows=[],
             )
         self.sample()  # the baseline: integration starts from here
-        self._timer = RecurringTimer(
-            engine, self.timeseries.sample_interval, self.sample
-        )
-        self._timer.start()
+        if ticker is not None:
+            self._timer = ticker.subscribe(self.sample)
+        else:
+            self._timer = RecurringTimer(
+                engine, self.timeseries.sample_interval, self.sample
+            )
+            self._timer.start()
 
     def sample(self) -> None:
         """Read every machine's counters at the current simulated time."""
@@ -255,18 +264,12 @@ class CounterSampler:
         for client in self._clients:
             client.snapshot_sizes()  # refresh gauges, as snapshots do
             series = self.timeseries.machines[f"client-{client.client_id}"]
-            counters = client.counters
             series.times.append(now)
-            series.rows.append(
-                tuple(getattr(counters, name) for name in CLIENT_FIELDS)
-            )
+            series.rows.append(client.counters.as_row())
         for server, name in zip(self._servers, self._server_names):
             series = self.timeseries.machines[name]
-            counters = server.counters
             series.times.append(now)
-            series.rows.append(
-                tuple(getattr(counters, name) for name in SERVER_FIELDS)
-            )
+            series.rows.append(server.counters.as_row())
         if self.on_sample is not None:
             self.on_sample(now)
 

@@ -367,28 +367,23 @@ def _decode_accesses(body: bytes) -> list[Access]:
 # cluster replays
 # --------------------------------------------------------------------------
 
-_CLIENT_FIELDS = tuple(f.name for f in fields(ClientCounters))
-_SERVER_FIELDS = tuple(f.name for f in fields(ServerCounters))
-
-
-def _client_row(counters: ClientCounters) -> tuple:
-    return tuple(getattr(counters, name) for name in _CLIENT_FIELDS)
+# Counter rows are the counters' own declaration-order value tuples
+# (``as_row``), which is exactly the field order the dataclass-era
+# codec marshalled -- the wire layout is unchanged.
 
 
 def _encode_replay(result: ClusterResult) -> bytes:
-    client_row = _client_row
     counters = marshal.dumps(
         (
-            tuple(getattr(result.server_counters, n) for n in _SERVER_FIELDS),
-            {cid: client_row(c) for cid, c in result.final_counters.items()},
+            result.server_counters.as_row(),
+            {cid: c.as_row() for cid, c in result.final_counters.items()},
             {
-                cid: [(s.time, s.client_id, client_row(s.counters)) for s in snaps]
+                cid: [
+                    (s.time, s.client_id, s.counters.as_row()) for s in snaps
+                ]
                 for cid, snaps in result.snapshots.items()
             },
-            tuple(
-                tuple(getattr(c, n) for n in _SERVER_FIELDS)
-                for c in result.per_server_counters
-            ),
+            tuple(c.as_row() for c in result.per_server_counters),
         ),
         _MARSHAL_VERSION,
     )
@@ -413,8 +408,8 @@ def _decode_replay(body: bytes) -> ClusterResult:
         # Pre-sharding payload: one server, its aggregate IS the shard.
         server_row, final_rows, snapshot_rows = unpacked
         per_server_rows = (server_row,)
-    make_client = _make_maker(ClientCounters, _CLIENT_FIELDS, (), offset=0)
-    make_server = _make_maker(ServerCounters, _SERVER_FIELDS, (), offset=0)
+    make_client = ClientCounters.from_row
+    make_server = ServerCounters.from_row
     _new, _osa = object.__new__, object.__setattr__
     with _gc_paused():
         snapshots: dict[int, list[CounterSnapshot]] = {}

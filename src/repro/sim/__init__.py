@@ -8,6 +8,12 @@ monotonic clock.
 """
 
 from repro.sim.engine import Engine, EventHandle
-from repro.sim.timers import RecurringTimer
+from repro.sim.timers import RecurringTimer, SharedTicker, TickSubscription
 
-__all__ = ["Engine", "EventHandle", "RecurringTimer"]
+__all__ = [
+    "Engine",
+    "EventHandle",
+    "RecurringTimer",
+    "SharedTicker",
+    "TickSubscription",
+]

@@ -3,6 +3,12 @@
 Events scheduled at the same timestamp fire in scheduling order (FIFO),
 which keeps runs deterministic regardless of heap tie-breaking.
 
+Heap entries are plain ``(time, sequence, event)`` tuples, so every
+heap compare is a C-level tuple comparison -- the sequence number is
+unique, so the event object itself is never compared.  (The engine used
+to order dataclass instances; at millions of events the generated
+Python ``__lt__`` was a measurable slice of replay wall clock.)
+
 Cancellation is lazy: a cancelled event stays in the heap (marked) and
 is discarded when it reaches the top, so ``cancel``, ``pending``, and
 ``advance_to`` are all O(1) apart from amortized heap maintenance.  A
@@ -15,7 +21,6 @@ writeback, most are cancelled by the close) stays linear.
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -28,7 +33,7 @@ Callback = Callable[[], None]
 _COMPACT_MIN_STALE = 64
 
 
-@dataclass(order=True, slots=True)
+@dataclass(slots=True)
 class _ScheduledEvent:
     time: float
     sequence: int
@@ -71,8 +76,13 @@ class Engine:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = start_time
-        self._heap: list[_ScheduledEvent] = []
-        self._sequence = itertools.count()
+        #: Min-heap of ``(time, sequence, _ScheduledEvent)`` tuples.
+        self._heap: list[tuple[float, int, _ScheduledEvent]] = []
+        #: Monotone schedule counter: the next event's tie-break sequence
+        #: number, and a cheap change detector for "did anything get
+        #: scheduled since I last looked?" (the replay loop caches
+        #: :meth:`next_event_time` against it).
+        self._sequence = 0
         self._events_run = 0
         self._live = 0  # scheduled, not yet fired, not cancelled
         self._stale = 0  # cancelled events still sitting in the heap
@@ -106,10 +116,10 @@ class Engine:
             raise SchedulingError(
                 f"cannot schedule at {time}; the clock is already at {self._now}"
             )
-        event = _ScheduledEvent(
-            time=time, sequence=next(self._sequence), callback=callback
-        )
-        heapq.heappush(self._heap, event)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event = _ScheduledEvent(time=time, sequence=sequence, callback=callback)
+        heapq.heappush(self._heap, (time, sequence, event))
         self._live += 1
         return EventHandle(event, self)
 
@@ -119,17 +129,30 @@ class Engine:
             raise SchedulingError(f"negative delay: {delay}")
         return self.schedule_at(self._now + delay, callback)
 
+    def next_event_time(self) -> float | None:
+        """The timestamp of the next live event, or None when idle.
+
+        O(1) apart from purging cancelled entries off the top.  The
+        replay loop uses it to skip :meth:`run_until` entirely between
+        trace records that fall inside the same quiet stretch.
+        """
+        self._purge_cancelled_top()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
     def _note_cancelled(self) -> None:
         """Bookkeeping for a cancel; compacts when stale entries dominate."""
         self._live -= 1
         self._stale += 1
         if self._stale > _COMPACT_MIN_STALE and self._stale > self._live:
             survivors = []
-            for event in self._heap:
+            for entry in self._heap:
+                event = entry[2]
                 if event.cancelled:
                     event.done = True
                 else:
-                    survivors.append(event)
+                    survivors.append(entry)
             self._heap = survivors
             heapq.heapify(self._heap)
             self._stale = 0
@@ -137,7 +160,7 @@ class Engine:
     def _pop_next(self) -> _ScheduledEvent | None:
         """Pop the next live event, discarding cancelled ones."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)[2]
             event.done = True
             if event.cancelled:
                 self._stale -= 1
@@ -148,8 +171,9 @@ class Engine:
 
     def _purge_cancelled_top(self) -> None:
         """Drop cancelled events sitting at the top of the heap."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap).done = True
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)[2].done = True
             self._stale -= 1
 
     def run_until(self, end_time: float) -> None:
@@ -159,11 +183,12 @@ class Engine:
             raise SchedulingError(
                 f"cannot run until {end_time}; the clock is already at {self._now}"
             )
+        heap = self._heap
         while True:
             self._purge_cancelled_top()
-            if not self._heap or self._heap[0].time > end_time:
+            if not heap or heap[0][0] > end_time:
                 break
-            event = heapq.heappop(self._heap)
+            event = heapq.heappop(heap)[2]
             event.done = True
             self._live -= 1
             self._now = event.time
@@ -174,22 +199,27 @@ class Engine:
         self._now = end_time
 
     def run_all(self, max_events: int = 10_000_000) -> None:
-        """Fire every pending event; guard against runaway self-scheduling."""
+        """Fire every pending event; guard against runaway self-scheduling.
+
+        Exactly ``max_events`` callbacks may fire; the guard raises the
+        moment one more would run (it used to let ``max_events + 1``
+        through before noticing).
+        """
         fired = 0
         while True:
             event = self._pop_next()
             if event is None:
                 break
+            if fired >= max_events:
+                raise SchedulingError(
+                    f"run_all exceeded {max_events} events; runaway timer?"
+                )
+            fired += 1
             self._now = event.time
             self._events_run += 1
             event.callback()
             if self._observer is not None:
                 self._observer.on_engine_event(event.time)
-            fired += 1
-            if fired > max_events:
-                raise SchedulingError(
-                    f"run_all exceeded {max_events} events; runaway timer?"
-                )
 
     def advance_to(self, time: float) -> None:
         """Move the clock forward without firing events (used by
@@ -199,10 +229,10 @@ class Engine:
                 f"cannot move the clock backwards from {self._now} to {time}"
             )
         self._purge_cancelled_top()
-        if self._heap and self._heap[0].time < time:
+        if self._heap and self._heap[0][0] < time:
             raise SchedulingError(
                 f"advance_to({time}) would skip an event at "
-                f"{self._heap[0].time}; use run_until instead"
+                f"{self._heap[0][0]}; use run_until instead"
             )
         self._now = time
 

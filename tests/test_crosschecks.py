@@ -1,8 +1,6 @@
 """Cross-component invariants: independent parts of the system must
 agree about the same quantities."""
 
-from dataclasses import fields
-
 from repro.consistency import compute_actions
 from repro.fs import ClusterConfig, run_cluster_on_trace
 from repro.fs.counters import ClientCounters
@@ -11,12 +9,7 @@ from repro.workload import STANDARD_PROFILES, generate_trace
 
 
 def aggregate(result) -> ClientCounters:
-    total = ClientCounters()
-    for counters in result.final_counters.values():
-        for field in fields(counters):
-            name = field.name
-            setattr(total, name, getattr(total, name) + getattr(counters, name))
-    return total
+    return ClientCounters.aggregate(result.final_counters.values())
 
 
 class TestClientServerAgreement:

@@ -5,7 +5,8 @@ import time
 import pytest
 
 from repro.common.errors import SchedulingError
-from repro.sim import Engine, RecurringTimer
+from repro.sim import Engine, RecurringTimer, SharedTicker
+from repro.sim.engine import _COMPACT_MIN_STALE
 
 
 class TestEngine:
@@ -106,6 +107,26 @@ class TestEngine:
         engine.schedule_at(0.0, reschedule)
         with pytest.raises(SchedulingError):
             engine.run_all(max_events=100)
+
+    def test_run_all_guard_is_exact(self):
+        # Exactly max_events pending events must run to completion; the
+        # guard used to let max_events + 1 callbacks fire before raising.
+        engine = Engine()
+        fired = []
+        for i in range(5):
+            engine.schedule_at(float(i), lambda i=i: fired.append(i))
+        engine.run_all(max_events=5)
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_run_all_guard_raises_before_excess_event_fires(self):
+        engine = Engine()
+        fired = []
+        for i in range(6):
+            engine.schedule_at(float(i), lambda i=i: fired.append(i))
+        with pytest.raises(SchedulingError):
+            engine.run_all(max_events=5)
+        # The sixth callback must never have run.
+        assert fired == [0, 1, 2, 3, 4]
 
     def test_advance_to_skipping_event_raises(self):
         engine = Engine()
@@ -271,3 +292,189 @@ class TestCancellationScaling:
         assert engine.pending == 1
         engine.run_until(10.0)
         assert fired == ["late"]
+
+
+class TestHeapCompaction:
+    """Boundary behaviour of the stale-entry compaction pass.
+
+    Compaction triggers when stale > _COMPACT_MIN_STALE AND
+    stale > live; these tests pin both edges of that predicate and the
+    invariants that must hold afterwards.
+    """
+
+    def test_no_compaction_at_exactly_min_stale(self):
+        # stale == _COMPACT_MIN_STALE is NOT "more than": the heap must
+        # still hold every entry.
+        engine = Engine()
+        handles = [
+            engine.schedule_at(float(i), lambda: None)
+            for i in range(_COMPACT_MIN_STALE + 1)
+        ]
+        for handle in handles[:_COMPACT_MIN_STALE]:
+            handle.cancel()
+        assert engine._stale == _COMPACT_MIN_STALE
+        assert len(engine._heap) == _COMPACT_MIN_STALE + 1
+
+    def test_compaction_one_past_the_threshold(self):
+        # The (min+1)-th cancel satisfies both conditions (stale > min,
+        # stale > live) and must shrink the heap to the survivors.
+        engine = Engine()
+        handles = [
+            engine.schedule_at(float(i), lambda: None)
+            for i in range(_COMPACT_MIN_STALE + 2)
+        ]
+        for handle in handles[: _COMPACT_MIN_STALE + 1]:
+            handle.cancel()
+        assert engine._stale == 0  # reset by the compaction pass
+        assert len(engine._heap) == 1
+        assert engine.pending == 1
+
+    def test_stale_majority_required(self):
+        # Many cancels but a live majority: no compaction yet.
+        engine = Engine()
+        total = 4 * _COMPACT_MIN_STALE
+        handles = [
+            engine.schedule_at(float(i), lambda: None) for i in range(total)
+        ]
+        for handle in handles[: _COMPACT_MIN_STALE + 10]:
+            handle.cancel()
+        assert engine._stale == _COMPACT_MIN_STALE + 10
+        assert len(engine._heap) == total
+
+    def test_advance_to_and_pending_after_compaction(self):
+        engine = Engine()
+        handles = [
+            engine.schedule_at(float(i + 1), lambda: None)
+            for i in range(_COMPACT_MIN_STALE + 2)
+        ]
+        survivor_time = handles[-1].time
+        for handle in handles[:-1]:
+            handle.cancel()
+        assert len(engine._heap) == 1  # compacted
+        assert engine.pending == 1
+        # advance_to honours the surviving event, not the dropped ones.
+        engine.advance_to(survivor_time - 0.5)
+        assert engine.now == survivor_time - 0.5
+        with pytest.raises(SchedulingError):
+            engine.advance_to(survivor_time + 1.0)
+        engine.run_all()
+        assert engine.events_run == 1
+        assert engine.pending == 0
+
+    def test_cancel_after_fire_stays_idempotent_across_compaction(self):
+        # A handle whose event already fired, then a compaction, then
+        # more cancels of that same handle: the live count must not go
+        # negative or drift.
+        engine = Engine()
+        fired_handle = engine.schedule_at(0.5, lambda: None)
+        engine.run_until(1.0)
+        handles = [
+            engine.schedule_at(float(i + 2), lambda: None)
+            for i in range(_COMPACT_MIN_STALE + 2)
+        ]
+        for handle in handles[:-1]:
+            handle.cancel()
+        assert engine.pending == 1
+        fired_handle.cancel()  # no-op: already fired
+        fired_handle.cancel()
+        handles[0].cancel()  # no-op: already cancelled + compacted away
+        assert engine.pending == 1
+        engine.run_all()
+        assert engine.events_run == 2
+
+    def test_compaction_preserves_fifo_order(self):
+        engine = Engine()
+        fired = []
+        doomed = [
+            engine.schedule_at(1.0, lambda: fired.append("doomed"))
+            for _ in range(_COMPACT_MIN_STALE + 1)
+        ]
+        survivors = [
+            engine.schedule_at(1.0, lambda i=i: fired.append(i))
+            for i in range(3)
+        ]
+        for handle in doomed:
+            handle.cancel()
+        assert len(engine._heap) == len(survivors)
+        engine.run_all()
+        assert fired == [0, 1, 2]
+
+
+class TestSharedTicker:
+    def test_fans_out_in_subscription_order(self):
+        engine = Engine()
+        ticker = SharedTicker(engine, 5.0)
+        fired = []
+        ticker.subscribe(lambda: fired.append(("a", engine.now)))
+        ticker.subscribe(lambda: fired.append(("b", engine.now)))
+        engine.run_until(11.0)
+        assert fired == [
+            ("a", 5.0), ("b", 5.0), ("a", 10.0), ("b", 10.0),
+        ]
+        assert ticker.fire_count == 2
+
+    def test_one_heap_event_per_period(self):
+        engine = Engine()
+        ticker = SharedTicker(engine, 5.0)
+        for _ in range(40):
+            ticker.subscribe(lambda: None)
+        assert engine.pending == 1  # not 40
+        engine.run_until(21.0)
+        assert engine.events_run == 4  # ticks at 5, 10, 15, 20
+
+    def test_matches_per_subscriber_recurring_timers(self):
+        # The coalescing byte-identity argument in miniature: N sibling
+        # RecurringTimers started in order produce the same callback
+        # sequence as N subscriptions on one ticker.
+        def run_with_timers():
+            engine = Engine()
+            fired = []
+            for name in ("a", "b", "c"):
+                timer = RecurringTimer(
+                    engine, 5.0, lambda n=name: fired.append((n, engine.now))
+                )
+                timer.start()
+            engine.run_until(16.0)
+            return fired
+
+        def run_with_ticker():
+            engine = Engine()
+            fired = []
+            ticker = SharedTicker(engine, 5.0)
+            for name in ("a", "b", "c"):
+                ticker.subscribe(lambda n=name: fired.append((n, engine.now)))
+            engine.run_until(16.0)
+            return fired
+
+        assert run_with_timers() == run_with_ticker()
+
+    def test_cancelled_subscription_stops_receiving(self):
+        engine = Engine()
+        ticker = SharedTicker(engine, 1.0)
+        fired = []
+        keep = ticker.subscribe(lambda: fired.append("keep"))
+        drop = ticker.subscribe(lambda: fired.append("drop"))
+        engine.run_until(1.5)
+        drop.cancel()
+        drop.stop()  # the RecurringTimer-compatible alias, idempotent
+        engine.run_until(3.5)
+        assert fired == ["keep", "drop", "keep", "keep"]
+        assert keep.running and not drop.running
+        assert ticker.subscriber_count == 1
+
+    def test_rearms_after_full_drain(self):
+        engine = Engine()
+        ticker = SharedTicker(engine, 2.0)
+        first = ticker.subscribe(lambda: None)
+        first.cancel()
+        engine.run_until(3.0)  # the armed tick fires into nobody
+        assert engine.pending == 0  # ...and did not reschedule
+        fired = []
+        ticker.subscribe(lambda: fired.append(engine.now))
+        engine.run_until(10.0)
+        # Re-armed from subscription time (3.0), not from the old phase.
+        assert fired == [5.0, 7.0, 9.0]
+
+    def test_bad_period_raises(self):
+        with pytest.raises(SchedulingError):
+            SharedTicker(Engine(), 0.0)

@@ -22,7 +22,6 @@ from repro.fs import (
     SERVER_TARGET,
     run_cluster_on_trace,
 )
-from repro.fs.faults import retries_for_wait
 from repro.fs.rpc import BackoffPolicy
 from repro.common.rng import RngStream
 
@@ -121,11 +120,6 @@ class TestBackoff:
         )
         # Delays 1, 2, 2, 2, ... -> 60 seconds needs 1 + ceil(59/2) = 31.
         assert self.attempts(config, 60.0) == 31
-
-    def test_deprecated_shim_warns_and_delegates(self):
-        with pytest.warns(DeprecationWarning, match="attempts_for_wait"):
-            legacy = retries_for_wait(FaultConfig(), 0.5)
-        assert legacy == self.attempts(FaultConfig(), 0.5)
 
 
 class TestFaultSchedule:

@@ -1,6 +1,5 @@
 """Integration tests: replaying traces through the cluster simulator."""
 
-from dataclasses import fields
 import pytest
 
 from repro.caching import (
@@ -18,12 +17,7 @@ from repro.fs.counters import ClientCounters
 
 
 def aggregate(result):
-    total = ClientCounters()
-    for counters in result.final_counters.values():
-        for field in fields(counters):
-            name = field.name
-            setattr(total, name, getattr(total, name) + getattr(counters, name))
-    return total
+    return ClientCounters.aggregate(result.final_counters.values())
 
 
 class TestReplay:

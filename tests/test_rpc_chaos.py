@@ -20,7 +20,7 @@ suite checks that claim three ways:
 
 from __future__ import annotations
 
-from dataclasses import fields, replace
+from dataclasses import replace
 
 import pytest
 
@@ -95,18 +95,18 @@ def test_lossy_replay_is_protocol_equivalent(small_trace, seed):
     lossy = run(small_trace, 0.10, seed)
     for client_id, bare in base.final_counters.items():
         noisy = lossy.final_counters[client_id]
-        for item in fields(bare):
-            if item.name in MESSAGE_ACCOUNTING:
+        for name in type(bare).FIELDS:
+            if name in MESSAGE_ACCOUNTING:
                 continue
-            assert getattr(bare, item.name) == getattr(noisy, item.name), (
-                f"client {client_id} counter {item.name} diverged under loss"
+            assert getattr(bare, name) == getattr(noisy, name), (
+                f"client {client_id} counter {name} diverged under loss"
             )
-    for item in fields(base.server_counters):
-        if item.name in SERVER_MESSAGE_ACCOUNTING:
+    for name in type(base.server_counters).FIELDS:
+        if name in SERVER_MESSAGE_ACCOUNTING:
             continue
-        assert getattr(base.server_counters, item.name) == getattr(
-            lossy.server_counters, item.name
-        ), f"server counter {item.name} diverged under loss"
+        assert getattr(base.server_counters, name) == getattr(
+            lossy.server_counters, name
+        ), f"server counter {name} diverged under loss"
     # And the loss was real: the channel did retransmit and suppress.
     assert any(
         c.rpc_retransmissions > 0 for c in lossy.final_counters.values()
@@ -162,15 +162,15 @@ def test_duplicate_heavy_channel_is_idempotent(small_trace):
         small_trace.records, small_trace.duration, config, seed=13,
     )
     assert doubled.server_counters.duplicate_rpcs_suppressed > 0
-    for item in fields(base.server_counters):
-        if item.name in SERVER_MESSAGE_ACCOUNTING:
+    for name in type(base.server_counters).FIELDS:
+        if name in SERVER_MESSAGE_ACCOUNTING:
             continue
-        assert getattr(base.server_counters, item.name) == getattr(
-            doubled.server_counters, item.name
+        assert getattr(base.server_counters, name) == getattr(
+            doubled.server_counters, name
         )
     for client_id, bare in base.final_counters.items():
         noisy = doubled.final_counters[client_id]
-        for item in fields(bare):
-            if item.name in MESSAGE_ACCOUNTING:
+        for name in type(bare).FIELDS:
+            if name in MESSAGE_ACCOUNTING:
                 continue
-            assert getattr(bare, item.name) == getattr(noisy, item.name)
+            assert getattr(bare, name) == getattr(noisy, name)

@@ -14,7 +14,7 @@ from repro.common.errors import SimulationError
 from repro.common.rng import RngStream
 from repro.fs.client import ClientKernel
 from repro.fs.config import ClusterConfig
-from repro.fs.faults import FaultConfig, retries_for_wait
+from repro.fs.faults import FaultConfig
 from repro.fs.rpc import (
     MAX_ATTEMPTS,
     BackoffPolicy,
@@ -132,13 +132,16 @@ class TestChannel:
 
 
 class TestBackoffPolicy:
-    def test_matches_deprecated_helper(self):
-        config = FaultConfig()
-        policy = BackoffPolicy.from_config(config)
-        for wait in (0.05, 0.5, 7.0, 60.0):
-            with pytest.warns(DeprecationWarning):
-                legacy = retries_for_wait(config, wait)
-            assert policy.attempts_for_wait(wait) == legacy
+    def test_attempts_for_wait_known_values(self):
+        # Default backoff: 0.1, 0.2, 0.4, ... capped at 5.0.  One
+        # attempt lands immediately; each delay buys one more.
+        policy = BackoffPolicy.from_config(FaultConfig())
+        assert policy.attempts_for_wait(0.05) == 1
+        assert policy.attempts_for_wait(0.5) == 3
+        for shorter, longer in ((0.05, 0.5), (0.5, 7.0), (7.0, 60.0)):
+            assert policy.attempts_for_wait(shorter) <= policy.attempts_for_wait(
+                longer
+            )
 
     def test_next_delay_doubles_to_cap(self):
         policy = BackoffPolicy(initial=1.0, factor=2.0, cap=3.0)
