@@ -49,6 +49,15 @@ def build_parser() -> argparse.ArgumentParser:
         "per-server breakdown (default 1)",
     )
     parser.add_argument(
+        "--replication-factor",
+        type=int,
+        default=1,
+        metavar="R",
+        help="keep R copies of every file on distinct servers and serve "
+        "reads from any live replica (requires --num-servers >= R; "
+        "default 1, no replication)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -108,6 +117,15 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--workers must be >= 0, got {args.workers}")
     if args.num_servers < 1:
         parser.error(f"--num-servers must be >= 1, got {args.num_servers}")
+    if args.replication_factor < 1:
+        parser.error(
+            f"--replication-factor must be >= 1, got {args.replication_factor}"
+        )
+    if args.replication_factor > args.num_servers:
+        parser.error(
+            f"--replication-factor {args.replication_factor} needs at least "
+            f"that many servers (--num-servers {args.num_servers})"
+        )
     if not args.obs:
         if args.obs_sample_interval is not None:
             parser.error("--obs-sample-interval requires --obs")
@@ -125,6 +143,7 @@ def main(argv: list[str] | None = None) -> int:
         scale=args.scale,
         seed=args.seed,
         num_servers=args.num_servers,
+        replication_factor=args.replication_factor,
         workers=args.workers,
         cache=cache,
     )

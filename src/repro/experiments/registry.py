@@ -64,7 +64,13 @@ from repro.consistency.polling import render_table11
 from repro.consistency.schemes import render_table12
 from repro.experiments.expectations import PAPER_EXPECTATIONS
 from repro.common.rng import RngStream
-from repro.fs import ClusterConfig, FaultConfig, Placement, ProtocolOracle
+from repro.fs import (
+    ClusterConfig,
+    FaultConfig,
+    Placement,
+    ProtocolOracle,
+    compute_replication_study,
+)
 from repro.fs.cluster import ClusterResult, run_cluster_on_trace
 from repro.pipeline import (
     ArtifactCache,
@@ -121,6 +127,11 @@ class ExperimentContext:
     scale: float = 0.1
     seed: int = 1991
     num_servers: int = 1
+    #: Copies of every file (see repro.fs.replication).  1 = the
+    #: paper's single-copy world; r > 1 places each file on r servers
+    #: and serves reads from any live replica.  Ignored when an
+    #: explicit ``cluster_config`` is supplied.
+    replication_factor: int = 1
     #: Traces replayed through the cluster for Tables 4-9.  The paper's
     #: two-week counter collection reflects normal operation, so the
     #: default picks the non-simulation-dominated traces.
@@ -142,6 +153,11 @@ class ExperimentContext:
             raise ConfigError(
                 f"num_servers must be >= 1, got {self.num_servers}"
             )
+        if self.replication_factor < 1:
+            raise ConfigError(
+                f"replication_factor must be >= 1, "
+                f"got {self.replication_factor}"
+            )
         self._artifact_cache = resolve_cache(self.cache)
 
     @property
@@ -154,7 +170,9 @@ class ExperimentContext:
         if self.cluster_config is not None:
             return self.cluster_config
         return ClusterConfig(
-            client_count=self.client_count, num_servers=self.num_servers
+            client_count=self.client_count,
+            num_servers=self.num_servers,
+            replication_factor=self.replication_factor,
         )
 
     def placement(self) -> Placement:
@@ -726,6 +744,95 @@ def _rpc_loss(ctx: ExperimentContext) -> ExperimentResult:
     )
 
 
+#: Replication factors swept by the replication experiment.
+REPLICATION_SWEEP: tuple[int, ...] = (1, 2, 3)
+
+#: Servers the replication sweep shards across (the paper's cluster
+#: size, and enough room for three copies plus a re-replication target).
+REPLICATION_STUDY_SERVERS = 4
+
+#: Fault load for the Table A study: the Table R timeline's crash mix
+#: with the server-crash knobs raised until server outages overlap.  A
+#: second copy already absorbs isolated crashes, so the difference
+#: between r=2 and r=3 only shows when two servers are down at once --
+#: at this rate each server is down ~8% of the time, so double outages
+#: recur.  Partitions are left out: a partitioned client can reach *no*
+#: server, so partition stall is identical in every column and would
+#: only dilute the availability signal.
+REPLICATION_STUDY_KNOBS = FaultConfig(
+    server_crash_rate=4.0,
+    server_downtime=300.0,
+    client_crash_rate=2.0,
+    client_downtime=60.0,
+)
+
+
+def _replication(ctx: ExperimentContext) -> ExperimentResult:
+    """Table A: availability and data loss vs. replication factor.
+
+    One cluster trace is replayed at r = 1, 2, 3 copies per file over
+    four servers.  Every column shares the trace, the replay seed, and
+    the fault knobs, so the injected crash schedule is identical cell
+    to cell; only the replication factor varies.  Paging is disabled
+    for this sweep -- backing-store pages are pinned to one server by
+    design (a paging stall cannot fail over), and removing them leaves
+    exactly the traffic replication can help.  The protocol-invariant
+    oracle rides along in collection mode: failover must never trade
+    correctness for availability, so the violations row has to read 0
+    in every column.
+    """
+    trace_index = ctx.cluster_trace_indexes[0]
+    trace = ctx.traces()[trace_index]
+    base = ctx.base_cluster_config()
+    study_seed = ctx.seed + 16383
+
+    labelled = []
+    for factor in REPLICATION_SWEEP:
+        config = replace(
+            base,
+            num_servers=REPLICATION_STUDY_SERVERS,
+            replication_factor=factor,
+            paging_intensity=0.0,
+            faults=REPLICATION_STUDY_KNOBS,
+        )
+        oracle = ProtocolOracle(seed=study_seed, raise_on_violation=False)
+        result = run_cluster_on_trace(
+            trace.records,
+            trace.duration,
+            config,
+            seed=study_seed,
+            oracle=oracle,
+        )
+        label = "r=1 (no replication)" if factor == 1 else f"r={factor}"
+        labelled.append((label, result, oracle))
+    study = compute_replication_study(labelled)
+
+    metrics: dict[str, float] = {
+        "oracle_violations_total": float(
+            sum(cell.oracle_violations for cell in study.cells)
+        ),
+        "server_crashes": float(study.cells[0].server_crashes),
+        "server_downtime_seconds": study.cells[0].downtime_seconds,
+    }
+    for factor, cell in zip(REPLICATION_SWEEP, study.cells):
+        metrics[f"stall_seconds_r{factor}"] = cell.stall_seconds
+        metrics[f"lost_kbytes_r{factor}"] = cell.lost_kbytes
+        metrics[f"failover_reads_r{factor}"] = float(cell.failover_reads)
+        metrics[f"rereplicated_files_r{factor}"] = float(
+            cell.rereplicated_files
+        )
+        metrics[f"failure_detections_r{factor}"] = float(
+            cell.failure_detections
+        )
+    return ExperimentResult(
+        experiment_id="replication",
+        title="Table A: availability vs. replication factor",
+        rendered=study.render(),
+        metrics=metrics,
+        paper_expectation=PAPER_EXPECTATIONS["replication"],
+    )
+
+
 _REGISTRY: dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
     "table1": _table1,
     "table2": _table2,
@@ -745,6 +852,7 @@ _REGISTRY: dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
     "table12": _table12,
     "faults": _faults,
     "rpc_loss": _rpc_loss,
+    "replication": _replication,
 }
 
 EXPERIMENT_IDS: tuple[str, ...] = tuple(_REGISTRY)

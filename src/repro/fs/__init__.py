@@ -29,6 +29,13 @@ from repro.fs.paging import PagingModel
 from repro.fs.cluster import Cluster, ClusterResult, run_cluster_on_trace
 from repro.fs.latency import PagingLatencyAnalysis, analyze_paging_latency
 from repro.fs.oracle import InvariantViolation, ProtocolOracle, Violation
+from repro.fs.replication import (
+    ReplicaMap,
+    ReplicationCell,
+    ReplicationManager,
+    ReplicationStudyResult,
+    compute_replication_study,
+)
 from repro.fs.rpc import (
     BackoffPolicy,
     Channel,
@@ -75,4 +82,9 @@ __all__ = [
     "InvariantViolation",
     "ProtocolOracle",
     "Violation",
+    "ReplicaMap",
+    "ReplicationCell",
+    "ReplicationManager",
+    "ReplicationStudyResult",
+    "compute_replication_study",
 ]

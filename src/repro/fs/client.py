@@ -74,6 +74,8 @@ _BLOCKS_DIRTIED = _IDX["blocks_dirtied"]
 _BYTES_WRITTEN_TO_SERVER = _IDX["bytes_written_to_server"]
 _BLOCKS_REPLACED_FOR_FILE = _IDX["blocks_replaced_for_file"]
 _REPLACE_AGE_SUM_FILE = _IDX["replace_age_sum_file"]
+_FAILOVER_READS = _IDX["failover_reads"]
+_REPLICA_WRITEBACK_BLOCKS = _IDX["replica_writeback_blocks"]
 #: CleanReason -> (count index, age-sum index) for _clean_block.
 _CLEAN_IDX = {
     CleanReason.DELAY: (_IDX["blocks_cleaned_delay"], _IDX["clean_age_sum_delay"]),
@@ -119,6 +121,7 @@ class ClientKernel:
         oracle: ProtocolOracle | None = None,
         placement: Placement | None = None,
         ticker: SharedTicker | None = None,
+        replication=None,
     ) -> None:
         self.client_id = client_id
         self.config = config
@@ -176,6 +179,17 @@ class ClientKernel:
             # skip the placement hash (an instance attribute shadows
             # the method -- it is called on every open/close/read/write).
             self._shard_of = _shard_zero
+        #: Replication (repro.fs.replication).  ``_route`` is the
+        #: serving-shard picker every per-file operation uses: without a
+        #: manager it *is* ``_shard_of`` (zero new cost, byte-identical
+        #: routing); with one it prefers the first live replica.
+        self._replication = replication
+        self._replicated = replication is not None
+        self._routed_failover = False
+        if self._replicated:
+            self._route = self._route_replicated
+        else:
+            self._route = self._shard_of
 
     # --- shard routing -----------------------------------------------------------
 
@@ -198,6 +212,63 @@ class ClientKernel:
 
     def _transport_for(self, file_id: int) -> RpcTransport:
         return self.transports[self.placement.shard_of(file_id)]
+
+    def _route_replicated(self, file_id: int) -> int:
+        """The serving shard under replication: the primary while it is
+        up, else the first live replica (a failover), else the replica
+        that recovers soonest (the op stalls against it, executing
+        logically at its recovery -- so its pending pushes land first).
+        ``_route`` binds to this only when a replication manager exists.
+        """
+        manager = self._replication
+        replicas = manager.replica_map.replicas(file_id)
+        servers = self.servers
+        if servers[replicas[0]].up:
+            self._routed_failover = False
+            return replicas[0]
+        for sid in replicas[1:]:
+            if servers[sid].up:
+                self._routed_failover = True
+                self.counters.failover_ops += 1
+                return sid
+        self._routed_failover = False
+        target = min(replicas, key=lambda s: servers[s].down_until)
+        manager.flush_pending(target)
+        return target
+
+    def _propagate_open(
+        self, now: float, file_id: int, served: int,
+        will_write: bool, version: int,
+    ) -> None:
+        """Mirror a served open to the other replicas: registrations and
+        the (possibly bumped) version stamp go to the live ones; a down
+        replica gets the version queued in the pending log (its
+        registrations are rebuilt by the reopen sweep at recovery)."""
+        manager = self._replication
+        skip = manager.skip_propagation_to
+        for sid in manager.replica_map.replicas(file_id):
+            if sid == served or sid in skip:
+                continue
+            if self.servers[sid].up:
+                self.transports[sid].call(
+                    now, "replica_open", file_id, self.client_id,
+                    will_write, version,
+                )
+            elif will_write:
+                manager.queue_pending(sid, file_id, version)
+
+    def _propagate_close(
+        self, now: float, file_id: int, served: int, wrote: bool
+    ) -> None:
+        """Mirror a served close to the other live replicas."""
+        manager = self._replication
+        skip = manager.skip_propagation_to
+        for sid in manager.replica_map.replicas(file_id):
+            if sid == served or sid in skip or not self.servers[sid].up:
+                continue
+            self.transports[sid].call(
+                now, "replica_close", file_id, self.client_id, wrote
+            )
 
     # --- consistency hooks -------------------------------------------------------
 
@@ -355,11 +426,11 @@ class ClientKernel:
         self._uncacheable = {
             file_id
             for file_id in self._uncacheable
-            if self._shard_of(file_id) != server_id
+            if not self._hosted_on(file_id, server_id)
         }
         transport = self.transports[server_id]
         for file_id in sorted(self._open_files):
-            if self._shard_of(file_id) != server_id:
+            if not self._hosted_on(file_id, server_id):
                 continue
             reads, writes = self._open_files[file_id]
             if reads or writes:
@@ -370,16 +441,26 @@ class ClientKernel:
         self._revalidate_cached_files(now, server_id)
         self._replay_overdue_writes(now, server_id)
 
-    def _shard_in_sweep(self, shard: int, server_id: int | None) -> bool:
-        """Does a recovery sweep scoped to ``server_id`` cover ``shard``?
+    def _hosted_on(self, file_id: int, server_id: int) -> bool:
+        """Does ``server_id`` currently hold a replica of ``file_id``?
+        (The file's one shard when unreplicated.)"""
+        if self._replicated:
+            return server_id in self._replication.replica_map.replicas(file_id)
+        return self._shard_of(file_id) == server_id
 
-        ``None`` means "every shard that is currently up" (the heal-
-        partition sweep); an explicit id limits the sweep to the shard
-        that just recovered.
+    def _sweep_shard(self, file_id: int, server_id: int | None) -> int | None:
+        """The shard a recovery sweep should talk to for ``file_id``,
+        or None when the sweep does not cover the file.
+
+        ``server_id`` None is the heal-partition sweep: it covers every
+        file whose serving replica is up (the routed shard under
+        replication).  An explicit id limits the sweep to files hosted
+        on the server that just recovered, addressed directly.
         """
-        if server_id is None:
-            return self.servers[shard].up
-        return shard == server_id
+        if server_id is not None:
+            return server_id if self._hosted_on(file_id, server_id) else None
+        shard = self._route(file_id)
+        return shard if self.servers[shard].up else None
 
     def _revalidate_cached_files(
         self, now: float, server_id: int | None = None
@@ -389,8 +470,8 @@ class ClientKernel:
         they conflict with writes accepted elsewhere)."""
         block_size = self.config.block_size
         for file_id in sorted(self.cache.resident_files()):
-            shard = self._shard_of(file_id)
-            if not self._shard_in_sweep(shard, server_id):
+            shard = self._sweep_shard(file_id, server_id)
+            if shard is None:
                 continue
             self.counters.revalidate_rpcs += 1
             current = self.transports[shard].call(
@@ -419,8 +500,8 @@ class ClientKernel:
         cutoff = now - self.config.writeback_delay
         overdue = self.cache.dirty_blocks_older_than(cutoff)
         for file_id in sorted({b.file_id for b in overdue}):
-            shard = self._shard_of(file_id)
-            if not self._shard_in_sweep(shard, server_id):
+            shard = self._sweep_shard(file_id, server_id)
+            if shard is None:
                 continue
             self._clean_file(now, file_id, CleanReason.RECOVERY)
             self.transports[shard].call(
@@ -437,12 +518,14 @@ class ClientKernel:
         mechanism).
         """
         self.counters.file_open_ops += 1
-        shard = self._shard_of(file_id)
+        shard = self._route(file_id)
         # Naming op: always stalls through outages.
         self.await_server(now, shard=shard)
         reply = self.transports[shard].call(
             now, "open_file", file_id, self.client_id, will_write
         )
+        if self._replicated:
+            self._propagate_open(now, file_id, shard, will_write, reply.version)
         counts = self._open_files.get(file_id)
         if counts is None:
             counts = self._open_files[file_id] = [0, 0]
@@ -461,7 +544,7 @@ class ClientKernel:
         self, now: float, file_id: int, wrote: bool, fsync: bool = False
     ) -> None:
         """Close a file, optionally forcing its dirty data through."""
-        shard = self._shard_of(file_id)
+        shard = self._route(file_id)
         # Naming op: always stalls through outages.
         self.await_server(now, shard=shard)
         transport = self.transports[shard]
@@ -469,6 +552,8 @@ class ClientKernel:
             self._clean_file(now, file_id, CleanReason.FSYNC)
             transport.call(now, "note_written_back", file_id, self.client_id)
         transport.call(now, "close_file", file_id, self.client_id, wrote)
+        if self._replicated:
+            self._propagate_close(now, file_id, shard, wrote)
         counts = self._open_files.get(file_id)
         if counts is not None:
             counts[1 if wrote else 0] = max(0, counts[1 if wrote else 0] - 1)
@@ -494,8 +579,10 @@ class ClientKernel:
         if length <= 0:
             return
         paging = paging_kind is not None
-        shard = self._shard_of(file_id)
+        shard = self._route(file_id)
         counters = self.counters._values
+        if self._replicated and self._routed_failover:
+            counters[_FAILOVER_READS] += 1
         if file_id in self._uncacheable:
             counters[_SHARED_BYTES_READ] += length
             if self.await_server(now, data_op=True, shard=shard):
@@ -597,7 +684,7 @@ class ClientKernel:
         """Application write of a byte range."""
         if length <= 0:
             return
-        shard = self._shard_of(file_id)
+        shard = self._route(file_id)
         counters = self.counters._values
         if file_id in self._uncacheable:
             counters[_SHARED_BYTES_WRITTEN] += length
@@ -685,7 +772,7 @@ class ClientKernel:
 
     def fsync_file(self, now: float, file_id: int) -> None:
         """Application-requested synchronous write-through."""
-        shard = self._shard_of(file_id)
+        shard = self._route(file_id)
         # Sync write: stalls through outages.
         self.await_server(now, shard=shard)
         self._clean_file(now, file_id, CleanReason.FSYNC)
@@ -696,10 +783,23 @@ class ClientKernel:
     def delete_on_server(self, now: float, file_id: int) -> None:
         """Issue the delete/truncate naming RPC: one message carries
         both the name operation and the server-side invalidation."""
-        shard = self._shard_of(file_id)
+        shard = self._route(file_id)
         # Naming op: always stalls through outages.
         self.await_server(now, shard=shard)
         self.transports[shard].call(now, "delete_file", file_id)
+        if self._replicated:
+            # Every replica must drop the file; a down replica gets the
+            # delete queued in its pending log.
+            manager = self._replication
+            skip = manager.skip_propagation_to
+            for sid in manager.replica_map.replicas(file_id):
+                if sid == shard or sid in skip:
+                    continue
+                if self.servers[sid].up:
+                    self.transports[sid].call(now, "delete_file", file_id)
+                else:
+                    manager.queue_pending(sid, file_id, None)
+            manager.on_delete(file_id)
 
     def delete_file(self, now: float, file_id: int) -> None:
         """Handle a delete (or truncate-to-zero) of a file."""
@@ -721,7 +821,7 @@ class ClientKernel:
         the single-server protocol always used.
         """
         self.counters.directory_bytes_read += length
-        shard = self._shard_of(file_id)
+        shard = self._route(file_id)
         if self.await_server(now, data_op=True, shard=shard):
             self.transports[shard].call(now, "passthrough_read", -1, length)
 
@@ -822,7 +922,7 @@ class ClientKernel:
         # explicit ``up`` check covers the instant at the end of a
         # scheduled outage, before recovery has actually run.
         for file_id in sorted({b.file_id for b in old_blocks}):
-            shard = self._shard_of(file_id)
+            shard = self._route(file_id)
             server = self.servers[shard]
             if not server.up or self._unavailable_until(now, server) > now:
                 continue
@@ -838,10 +938,29 @@ class ClientKernel:
     def _clean_block(self, now: float, block: CacheBlock, reason: CleanReason) -> None:
         nbytes = max(1, min(block.written_end, self.config.block_size))
         age = max(0.0, now - block.dirty_since) if block.dirty_since >= 0 else 0.0
-        self.transports[self._shard_of(block.file_id)].call(
-            now, "write_block", block.file_id, block.index, nbytes
-        )
         counters = self.counters._values
+        if not self._replicated:
+            self.transports[self._shard_of(block.file_id)].call(
+                now, "write_block", block.file_id, block.index, nbytes
+            )
+        else:
+            # The writeback fans out to every live replica so each holds
+            # current bytes; with all replicas down it lands on the one
+            # that recovers soonest (executing logically at recovery).
+            manager = self._replication
+            skip = manager.skip_propagation_to
+            targets = [
+                sid
+                for sid in manager.replica_map.replicas(block.file_id)
+                if self.servers[sid].up and sid not in skip
+            ]
+            if not targets:
+                targets = [self._route(block.file_id)]
+            for sid in targets:
+                self.transports[sid].call(
+                    now, "write_block", block.file_id, block.index, nbytes
+                )
+            counters[_REPLICA_WRITEBACK_BLOCKS] += len(targets)
         counters[_BYTES_WRITTEN_TO_SERVER] += nbytes
         count_index, age_index = _CLEAN_IDX[reason]
         counters[count_index] += 1

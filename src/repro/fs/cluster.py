@@ -125,6 +125,25 @@ class Cluster:
         for server in self.servers:
             server.on_cacheability_change = self._cacheability_changed
 
+        #: Replication (repro.fs.replication): constructed only when
+        #: configured, so an unreplicated cluster runs no heartbeat
+        #: ticks, no fan-out, and no new code at all -- byte-identical
+        #: to builds that predate replication.
+        self.replication = None
+        if config.replication_factor > 1:
+            from repro.fs.replication import ReplicationManager
+
+            self.replication = ReplicationManager(
+                self.engine,
+                self.servers,
+                self.placement,
+                config.replication_factor,
+                config.heartbeat_miss_threshold,
+                ticker=self.shared_ticker(config.heartbeat_interval),
+            )
+            if oracle is not None:
+                oracle.replica_map = self.replication.replica_map
+
         #: VM base demand: the window system and daemons hold a slab of
         #: memory permanently; per-client jitter keeps machines distinct.
         self.clients: list[ClientKernel] = []
@@ -156,6 +175,7 @@ class Cluster:
                 oracle=oracle,
                 placement=self.placement,
                 ticker=self.shared_ticker(config.writeback_scan_interval),
+                replication=self.replication,
             )
             for server in self.servers:
                 server.register_client(client)
@@ -232,6 +252,10 @@ class Cluster:
         now = self.engine.now
         if not self.servers[server_id].recover(now):
             return
+        if self.replication is not None:
+            # Pending pushes land before the clients' sweeps revalidate
+            # against the recovered server's version stamps.
+            self.replication.on_server_recovered(now, server_id)
         if self.obs is not None:
             # Encoding: -1 - server_id, so the single-server case keeps
             # its historical -1 target.

@@ -43,6 +43,20 @@ class ClusterConfig:
     #: offsets the experiment tables use for their replays.
     placement_seed: int = 0
 
+    #: Copies of every file, on distinct servers.  1 = no replication
+    #: (byte-identical to builds that predate it); r > 1 places each
+    #: file on r servers chosen by the placement hash, serves reads
+    #: from any live replica, and re-replicates when the failure
+    #: detector declares a replica dead.
+    replication_factor: int = 1
+    #: The failure detector's heartbeat period.  The default matches
+    #: the writeback scan interval so the detector shares that tick's
+    #: single recurring engine event (repro.sim.timers.SharedTicker).
+    heartbeat_interval: float = WRITEBACK_SCAN_INTERVAL
+    #: Consecutive missed heartbeats before a server is declared dead
+    #: and its files re-replicated.
+    heartbeat_miss_threshold: int = 3
+
     #: Dirty data is written to the server this long after it was written.
     writeback_delay: float = DELAYED_WRITE_SECONDS
     #: The daemon scans for 30-second-old dirty blocks at this period.
@@ -82,6 +96,15 @@ class ClusterConfig:
             raise ConfigError("need at least one client")
         if self.num_servers <= 0:
             raise ConfigError("need at least one server")
+        if not 1 <= self.replication_factor <= self.num_servers:
+            raise ConfigError(
+                f"replication factor {self.replication_factor} must be in "
+                f"[1, num_servers={self.num_servers}]"
+            )
+        if self.heartbeat_interval <= 0:
+            raise ConfigError("heartbeat interval must be positive")
+        if self.heartbeat_miss_threshold < 1:
+            raise ConfigError("heartbeat miss threshold must be at least 1")
         if self.block_size <= 0 or self.block_size % 512:
             raise ConfigError(f"implausible block size {self.block_size}")
         if self.client_memory < self.kernel_memory + self.min_cache_size:

@@ -209,6 +209,12 @@ _CLIENT_SPEC = (
     # --- cache size -------------------------------------------------------
     ("cache_size_bytes", 0),  # current, sampled at snapshot time
     ("vm_resident_bytes", 0),
+    # --- replication (repro.fs.replication) -------------------------------
+    # All zero at replication_factor=1: the unreplicated client never
+    # routes around its primary or fans writebacks out.
+    ("failover_reads", 0),  # reads served by a non-primary replica
+    ("failover_ops", 0),  # any op routed around a down primary
+    ("replica_writeback_blocks", 0),  # write_block fan-out, all targets
 )
 
 
@@ -336,6 +342,13 @@ _SERVER_SPEC = (
     ("rpc_replies_replayed", 0),  # answered from the reply cache
     ("stale_rpcs_dropped", 0),  # evicted seq: dropped, never replayed
     ("dedup_evictions", 0),  # replies aged out of the bounded cache
+    # --- replication (repro.fs.replication) -------------------------------
+    # All zero at replication_factor=1: no heartbeats, no replica ops.
+    ("replica_version_pushes", 0),  # version stamps merged from peers
+    ("rereplicated_files", 0),  # files copied here to restore r copies
+    ("rereplication_blocks", 0),  # resident blocks copied with them
+    ("heartbeats_missed", 0),  # beats this server failed to answer
+    ("failure_detections", 0),  # times the detector declared this server dead
 )
 
 

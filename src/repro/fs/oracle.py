@@ -88,6 +88,11 @@ class ProtocolOracle:
         self._executed: set[tuple[int, int, int]] = set()
         #: file_id -> highest version stamp ever observed.
         self._versions: dict[int, int] = {}
+        #: The cluster's :class:`~repro.fs.replication.ReplicaMap`, set
+        #: by the cluster when replication is configured; enables the
+        #: replica-divergence final check and switches the writeback
+        #: ledger to the fan-out counter.
+        self.replica_map: Any | None = None
 
     def _flag(self, invariant: str, time: float, details: str) -> None:
         violation = Violation(
@@ -184,7 +189,17 @@ class ProtocolOracle:
                     now, "final", -1, "cross-shard-writeback-ledger"
                 )
             received = sum(s.counters.block_writes for s in servers)
-            cleaned = sum(c.counters.blocks_cleaned_total for c in clients)
+            if self.replica_map is not None:
+                # Replicated writebacks fan out: every clean crosses the
+                # wire once per live replica, and the clients count each
+                # transfer in replica_writeback_blocks.
+                cleaned = sum(
+                    c.counters.replica_writeback_blocks for c in clients
+                )
+            else:
+                cleaned = sum(
+                    c.counters.blocks_cleaned_total for c in clients
+                )
             if received != cleaned:
                 per_server = ", ".join(
                     f"server {s.server_id}: {s.counters.block_writes}"
@@ -195,6 +210,8 @@ class ProtocolOracle:
                     f"clients cleaned {cleaned} dirty blocks but servers "
                     f"received {received} ({per_server})",
                 )
+        if self.replica_map is not None and servers is not None:
+            self._check_replica_divergence(now, servers)
         for client in clients:
             self.checks_run += 1
             if self.obs is not None:
@@ -219,6 +236,41 @@ class ProtocolOracle:
                     f"{counters.lost_dirty_blocks}, dirty-evicted "
                     f"{client.cache.dirty_evictions}, resident "
                     f"{client.cache.dirty_count})",
+                )
+
+    def _check_replica_divergence(self, now: float, servers: list[Any]) -> None:
+        """Every file's *live* replicas must agree on its version stamp.
+
+        Write propagation (replica_open fan-out) pushes the serving
+        replica's version to the other live replicas synchronously, and
+        the pending log patches a recovering replica before any client
+        sweep reads it -- so at any quiescent point, two up replicas
+        disagreeing means propagation was lost.  Down replicas are
+        excluded: their patch is still queued.  A server that never saw
+        the file reads as version 0, which only agrees with version 0.
+        """
+        self.checks_run += 1
+        if self.obs is not None:
+            self.obs.on_oracle_check(now, "final", -1, "replica-divergence")
+        known: set[int] = set()
+        for server in servers:
+            known.update(server._files.keys())
+        for file_id in sorted(known):
+            live = [
+                s for s in self.replica_map.replicas(file_id)
+                if servers[s].up
+            ]
+            if len(live) < 2:
+                continue
+            versions = {s: servers[s].peek_version(file_id) for s in live}
+            if len(set(versions.values())) > 1:
+                detail = ", ".join(
+                    f"server {s}: v{v}" for s, v in sorted(versions.items())
+                )
+                self._flag(
+                    "replica-divergence", now,
+                    f"file {file_id} diverged across live replicas "
+                    f"({detail})",
                 )
 
     def assert_clean(self) -> None:

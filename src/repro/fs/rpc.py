@@ -331,6 +331,11 @@ class ServerEndpoint:
             "reopen_file": server.reopen_file,
             "revalidate_file": server.revalidate_file,
             "delete_file": self._delete_file,
+            # Replication plane (repro.fs.replication): keep the other
+            # live replicas' registrations and version stamps convergent
+            # with the op the serving replica just executed.
+            "replica_open": server.replica_open,
+            "replica_close": server.replica_close,
         }
 
     @classmethod

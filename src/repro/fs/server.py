@@ -222,6 +222,58 @@ class Server:
         if self.on_cacheability_change is not None:
             self.on_cacheability_change(file_id, cacheable)
 
+    # --- replication (repro.fs.replication) ---------------------------------------
+
+    def replica_open(
+        self, now: float, file_id: int, client_id: int,
+        will_write: bool, version: int,
+    ) -> None:
+        """Replication RPC: mirror an open served by a peer replica.
+
+        The serving replica ran the full protocol (recall, sharing
+        check, version bump); this call keeps the *other* live replicas
+        convergent: it registers the open and max-merges the version
+        stamp the serving replica returned, so a later failover sees
+        current registrations and a current version.  No recall runs
+        here -- dirty data is recalled once, by the serving replica.
+        """
+        counters = self.counters._values
+        counters[_RPC_COUNT] += 1
+        self.counters.replica_version_pushes += 1
+        state = self.state_of(file_id)
+        opens = state.writers if will_write else state.readers
+        opens[client_id] = opens.get(client_id, 0) + 1
+        if version > state.version:
+            state.version = version
+        self._check_write_sharing(file_id, state, count_open=False)
+
+    def replica_close(
+        self, now: float, file_id: int, client_id: int, wrote: bool
+    ) -> None:
+        """Replication RPC: mirror a close served by a peer replica."""
+        counters = self.counters._values
+        counters[_RPC_COUNT] += 1
+        state = self.state_of(file_id)
+        opens = state.writers if wrote else state.readers
+        count = opens.get(client_id, 0)
+        if count <= 1:
+            opens.pop(client_id, None)
+        else:
+            opens[client_id] = count - 1
+        if wrote:
+            state.last_writer = client_id
+        if state.uncacheable and not state.readers and not state.writers:
+            self._set_cacheability(file_id, state, cacheable=True)
+
+    def apply_replica_version(self, file_id: int, version: int) -> None:
+        """Max-merge a version stamp pushed outside the RPC plane (the
+        re-replication manager applying a recovered server's pending
+        log or seeding a substitute replica)."""
+        self.counters.replica_version_pushes += 1
+        state = self.state_of(file_id)
+        if version > state.version:
+            state.version = version
+
     def note_written_back(self, file_id: int, client_id: int) -> None:
         """A client finished writing back all dirty data for a file."""
         state = self.state_of(file_id)

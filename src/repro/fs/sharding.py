@@ -55,5 +55,34 @@ class Placement:
 
     __call__ = shard_of
 
+    def replicas_of(self, file_id: int, r: int) -> tuple[int, ...]:
+        """The ``r`` distinct servers holding ``file_id``.
+
+        The first element is always ``shard_of(file_id)`` -- the
+        primary -- so ``replicas_of(fid, 1) == (shard_of(fid),)`` and
+        replication factor 1 changes nothing.  The remaining replicas
+        are drawn without replacement by re-chaining the splitmix64
+        hash, so the full chain ``replicas_of(fid, num_servers)`` is a
+        stable per-file preference order over every server; the
+        re-replication manager walks it to pick substitute hosts.
+        """
+        if r < 1 or r > self.num_servers:
+            raise ConfigError(
+                f"replica count {r} must be in [1, {self.num_servers}]"
+            )
+        primary = self.shard_of(file_id)
+        if r == 1:
+            return (primary,)
+        if file_id < 0:
+            # The "no particular file" sentinel: first r servers.
+            return tuple(range(r))
+        remaining = [s for s in range(self.num_servers) if s != primary]
+        chosen = [primary]
+        h = _mix64(file_id ^ self._salt)
+        for _ in range(r - 1):
+            h = _mix64(h + 0x9E3779B97F4A7C15)
+            chosen.append(remaining.pop(h % len(remaining)))
+        return tuple(chosen)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Placement(num_servers={self.num_servers}, seed={self.seed})"

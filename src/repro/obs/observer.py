@@ -93,6 +93,9 @@ class Observation:
                 transport.obs = self
         if cluster.oracle is not None:
             cluster.oracle.obs = self
+        replication = getattr(cluster, "replication", None)
+        if replication is not None:
+            replication.obs = self
         shared_ticker = getattr(cluster, "shared_ticker", None)
         self.sampler.attach(
             cluster.engine, cluster.clients, servers,
@@ -251,6 +254,25 @@ class Observation:
         else:
             pid = client_pid(target)
         self.tracer.instant(now, pid, "fault", f"recovered:{kind}")
+
+    # --- replication -------------------------------------------------------------
+
+    def on_failure_detected(
+        self, now: float, server_id: int, missed_beats: int
+    ) -> None:
+        self.tracer.instant(
+            now, server_pid(server_id), "replication", "declared-dead",
+            args={"missed_beats": missed_beats},
+        )
+
+    def on_rereplication(
+        self, now: float, dead_id: int, target_id: int,
+        file_id: int, blocks: int,
+    ) -> None:
+        self.tracer.instant(
+            now, server_pid(target_id), "replication", "rereplicated",
+            args={"from_dead": dead_id, "file": file_id, "blocks": blocks},
+        )
 
     # --- oracle -----------------------------------------------------------------
 

@@ -185,3 +185,66 @@ class TestOracleIsPassive:
         drive(seeded[3])
         for bare, with_rng in zip(plain[3], seeded[3]):
             assert bare.counters == with_rng.counters
+
+
+class TestReplicaDivergence:
+    """The divergence check must catch real propagation loss -- seeded
+    through the ReplicationManager's drop-propagation test hook -- and
+    stay silent on a healthy replicated replay."""
+
+    def _replicated_replay(self, small_trace, skip_server=None):
+        from repro.fs.cluster import Cluster
+
+        config = ClusterConfig(
+            client_count=4, num_servers=4, replication_factor=2
+        )
+        oracle = ProtocolOracle(seed=77, raise_on_violation=False)
+        cluster = Cluster(config, seed=77, oracle=oracle)
+        if skip_server is not None:
+            cluster.replication.skip_propagation_to = {skip_server}
+        cluster.replay(small_trace.records, small_trace.duration)
+        return oracle
+
+    def test_healthy_replay_is_divergence_free(self, small_trace):
+        oracle = self._replicated_replay(small_trace)
+        assert oracle.checks_run > 0
+        assert oracle.violations == []
+
+    def test_dropped_propagation_is_caught_with_seed(self, small_trace):
+        """Silently dropping every push to one replica must surface as
+        replica-divergence violations carrying the replay seed."""
+        oracle = self._replicated_replay(small_trace, skip_server=1)
+        diverged = [
+            v for v in oracle.violations
+            if v.invariant == "replica-divergence"
+        ]
+        assert diverged, "lost propagation went undetected"
+        assert all(v.seed == 77 for v in diverged)
+        assert all("server 1" in v.details for v in diverged)
+        # Nothing else broke: the damage the hook does is exactly the
+        # damage the divergence invariant names.
+        assert len(diverged) == len(oracle.violations)
+
+    def test_divergence_raises_in_raise_mode(self):
+        """Unit-level: two live replicas disagreeing on a version stamp
+        trips the final check immediately."""
+
+        class _StubServer:
+            def __init__(self, server_id, versions):
+                self.server_id = server_id
+                self.up = True
+                self._files = dict.fromkeys(versions)
+                self._versions = versions
+
+            def peek_version(self, file_id):
+                return self._versions.get(file_id, 0)
+
+        class _StubMap:
+            def replicas(self, file_id):
+                return (0, 1)
+
+        oracle = ProtocolOracle(seed=13)
+        oracle.replica_map = _StubMap()
+        servers = [_StubServer(0, {7: 3}), _StubServer(1, {7: 2})]
+        with pytest.raises(InvariantViolation, match="replica-divergence"):
+            oracle._check_replica_divergence(5.0, servers)

@@ -18,6 +18,8 @@ dimension end to end:
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.analysis.sharded import (
     render_table1_per_server,
@@ -73,6 +75,76 @@ class TestPlacement:
     def test_rejects_empty_cluster(self):
         with pytest.raises(ConfigError):
             Placement(0)
+
+
+class TestReplicaPlacement:
+    """Property suite for ``Placement.replicas_of`` (the replication
+    layer's placement function)."""
+
+    @given(
+        file_id=st.integers(min_value=0, max_value=2**62),
+        num_servers=st.integers(min_value=1, max_value=8),
+        r=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_r_distinct_servers_primary_first(
+        self, file_id, num_servers, r, seed
+    ):
+        r = min(r, num_servers)
+        placement = Placement(num_servers, seed=seed)
+        replicas = placement.replicas_of(file_id, r)
+        assert len(replicas) == r
+        assert len(set(replicas)) == r, "replicas must be distinct servers"
+        assert replicas[0] == placement.shard_of(file_id)
+        assert all(0 <= s < num_servers for s in replicas)
+
+    @given(
+        file_id=st.integers(min_value=0, max_value=2**62),
+        num_servers=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_stable_across_instances_and_prefix_stable(
+        self, file_id, num_servers, seed
+    ):
+        """Two placements with the same seed agree, and growing ``r``
+        only appends -- a file's first k replicas never move when the
+        replication factor changes (re-replication targets come from
+        the same chain)."""
+        one = Placement(num_servers, seed=seed)
+        two = Placement(num_servers, seed=seed)
+        full = one.replicas_of(file_id, num_servers)
+        assert sorted(full) == list(range(num_servers))
+        for r in range(1, num_servers + 1):
+            chain = two.replicas_of(file_id, r)
+            assert chain == full[:r]
+
+    @given(
+        num_servers=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_replica_load_within_2x_of_mean(self, num_servers, seed):
+        r = min(2, num_servers)
+        placement = Placement(num_servers, seed=seed)
+        counts = [0] * num_servers
+        files = 2000
+        for file_id in range(files):
+            for server_id in placement.replicas_of(file_id, r):
+                counts[server_id] += 1
+        mean = files * r / num_servers
+        assert max(counts) < 2 * mean
+        assert min(counts) > mean / 2
+
+    def test_unplaced_files_take_the_first_r_servers(self):
+        assert Placement(4).replicas_of(-1, 3) == (0, 1, 2)
+
+    def test_rejects_out_of_range_replica_counts(self):
+        placement = Placement(4)
+        for r in (0, 5):
+            with pytest.raises(ConfigError):
+                placement.replicas_of(7, r)
 
 
 def _crash(time: float, duration: float, target: int = -1) -> FaultEvent:
