@@ -58,6 +58,24 @@ def build_parser() -> argparse.ArgumentParser:
         "default 1, no replication)",
     )
     parser.add_argument(
+        "--disk-corruption-rate",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="inject seeded silent disk corruption (bit rot) at RATE "
+        "events per server-hour into every cluster replay (default 0, "
+        "no disk faults)",
+    )
+    parser.add_argument(
+        "--scrub-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="checksum-scrub each server's durable blocks in the "
+        "background every SECONDS of simulated time, repairing from "
+        "replicas where possible (default 0, scrubbing off)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -126,6 +144,15 @@ def main(argv: list[str] | None = None) -> int:
             f"--replication-factor {args.replication_factor} needs at least "
             f"that many servers (--num-servers {args.num_servers})"
         )
+    if args.disk_corruption_rate < 0:
+        parser.error(
+            f"--disk-corruption-rate must be >= 0, "
+            f"got {args.disk_corruption_rate}"
+        )
+    if args.scrub_interval < 0:
+        parser.error(
+            f"--scrub-interval must be >= 0, got {args.scrub_interval}"
+        )
     if not args.obs:
         if args.obs_sample_interval is not None:
             parser.error("--obs-sample-interval requires --obs")
@@ -144,6 +171,8 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         num_servers=args.num_servers,
         replication_factor=args.replication_factor,
+        disk_corruption_rate=args.disk_corruption_rate,
+        scrub_interval=args.scrub_interval,
         workers=args.workers,
         cache=cache,
     )

@@ -118,4 +118,20 @@ PAPER_EXPECTATIONS: dict[str, str] = {
         "violations in every column -- availability must never come "
         "at the price of correctness."
     ),
+    "integrity": (
+        "Not measured by the paper -- its data-loss story (Section "
+        "5.2) is about crash loss bounded by the 30-second writeback "
+        "delay, with disks assumed to return what they stored.  "
+        "Expected shape: with no defence (one copy, no scrubbing) "
+        "every injected bit-rot, torn write, and lost write that "
+        "survives to end of replay is exposed as silent corruption; "
+        "scrubbing alone detects everything -- checksums catch the "
+        "rot and torn writes, the generation ledger catches the lost "
+        "writes that verify cleanly -- but with one copy each "
+        "detection is only a declared loss (data gone, but "
+        "accountably gone); with replicas the same detections become "
+        "repairs from the freshest live copy, and exposed corruption "
+        "-- and the oracle's violation count -- drops to exactly "
+        "zero."
+    ),
 }

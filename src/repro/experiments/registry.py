@@ -69,6 +69,7 @@ from repro.fs import (
     FaultConfig,
     Placement,
     ProtocolOracle,
+    compute_integrity_study,
     compute_replication_study,
 )
 from repro.fs.cluster import ClusterResult, run_cluster_on_trace
@@ -136,6 +137,13 @@ class ExperimentContext:
     #: two-week counter collection reflects normal operation, so the
     #: default picks the non-simulation-dominated traces.
     cluster_trace_indexes: tuple[int, ...] = (0, 5, 6)
+    #: Seeded silent-disk-fault rate (bit rot, events per server-hour;
+    #: see repro.fs.integrity).  0 = no disk faults, no integrity layer.
+    #: Ignored when an explicit ``cluster_config`` is supplied.
+    disk_corruption_rate: float = 0.0
+    #: Background scrub period in seconds; 0 = scrubbing off.  Ignored
+    #: when an explicit ``cluster_config`` is supplied.
+    scrub_interval: float = 0.0
     cluster_config: ClusterConfig | None = None
     workers: int = 1
     cache: ArtifactCache | bool | str | os.PathLike | None = True
@@ -158,6 +166,16 @@ class ExperimentContext:
                 f"replication_factor must be >= 1, "
                 f"got {self.replication_factor}"
             )
+        if self.disk_corruption_rate < 0:
+            raise ConfigError(
+                f"disk_corruption_rate must be >= 0 events per "
+                f"server-hour, got {self.disk_corruption_rate}"
+            )
+        if self.scrub_interval < 0:
+            raise ConfigError(
+                f"scrub_interval must be >= 0 seconds (0 = scrubbing "
+                f"off), got {self.scrub_interval}"
+            )
         self._artifact_cache = resolve_cache(self.cache)
 
     @property
@@ -169,11 +187,22 @@ class ExperimentContext:
         """The cluster config every Section 5 replay starts from."""
         if self.cluster_config is not None:
             return self.cluster_config
-        return ClusterConfig(
+        config = ClusterConfig(
             client_count=self.client_count,
             num_servers=self.num_servers,
             replication_factor=self.replication_factor,
         )
+        if self.disk_corruption_rate > 0 or self.scrub_interval > 0:
+            # Only replaced when asked for, so default contexts keep the
+            # exact config (and artifact-cache keys) they always had.
+            config = replace(
+                config,
+                scrub_interval=self.scrub_interval,
+                faults=FaultConfig(
+                    disk_corruption_rate=self.disk_corruption_rate
+                ),
+            )
+        return config
 
     def placement(self) -> Placement:
         """The file->server placement the replays shard by."""
@@ -833,6 +862,93 @@ def _replication(ctx: ExperimentContext) -> ExperimentResult:
     )
 
 
+#: (replication factor, scrub interval seconds) cells of the Table C
+#: sweep: the exposed baseline, scrubbing without replicas, and two
+#: fully repaired configurations.
+INTEGRITY_SWEEP: tuple[tuple[int, float], ...] = (
+    (1, 0.0),
+    (1, 60.0),
+    (2, 60.0),
+    (3, 30.0),
+)
+
+#: Servers the integrity sweep shards across (matching Table A).
+INTEGRITY_STUDY_SERVERS = 4
+
+#: Disk-fault load for the Table C study: heavy enough that hundreds of
+#: blocks rot, tear, and vanish per replay.  Server crashes are left
+#: out deliberately -- a crash-induced outage makes a replica
+#: *legitimately* stale, which is a different (Table A) story; here
+#: every generation mismatch the scrubber finds is a real lost write,
+#: so the r >= 2 zero-exposure pin is exact.
+INTEGRITY_STUDY_KNOBS = FaultConfig(
+    disk_corruption_rate=6.0,
+    disk_torn_write_rate=2.0,
+    disk_lost_write_rate=2.0,
+)
+
+
+def _integrity(ctx: ExperimentContext) -> ExperimentResult:
+    """Table C: silent corruption vs. scrub interval and replication.
+
+    One cluster trace is replayed under an identical seeded disk-fault
+    timeline (bit rot, torn writes, lost writes) while the defences
+    vary: no defence (r=1, no scrub), checksum scrubbing alone (r=1),
+    and scrubbing plus replicas (r=2, r=3).  Paging is disabled as in
+    Table A so the sweep measures exactly the durable-block traffic the
+    integrity layer protects.  The oracle's end-state sweep rides along
+    in collection mode; its silent-corruption count *is* the exposure
+    row, so the repaired columns must read 0 -- and the undefended
+    column must not, or the whole table is measuring a fault load too
+    gentle to matter.
+    """
+    trace_index = ctx.cluster_trace_indexes[0]
+    trace = ctx.traces()[trace_index]
+    base = ctx.base_cluster_config()
+    study_seed = ctx.seed + 32749
+
+    labelled = []
+    for factor, scrub in INTEGRITY_SWEEP:
+        config = replace(
+            base,
+            num_servers=INTEGRITY_STUDY_SERVERS,
+            replication_factor=factor,
+            paging_intensity=0.0,
+            scrub_interval=scrub,
+            faults=INTEGRITY_STUDY_KNOBS,
+        )
+        oracle = ProtocolOracle(seed=study_seed, raise_on_violation=False)
+        result = run_cluster_on_trace(
+            trace.records,
+            trace.duration,
+            config,
+            seed=study_seed,
+            oracle=oracle,
+        )
+        scrub_label = "no scrub" if scrub == 0 else f"scrub {scrub:g}s"
+        labelled.append((f"r={factor}, {scrub_label}", result, oracle))
+    study = compute_integrity_study(labelled)
+
+    metrics: dict[str, float] = {
+        "disk_faults_injected": float(study.cells[0].disk_faults_injected),
+    }
+    for (factor, scrub), cell in zip(INTEGRITY_SWEEP, study.cells):
+        tag = f"r{factor}_scrub{scrub:g}"
+        metrics[f"detected_{tag}"] = float(cell.corruption_detected)
+        metrics[f"repaired_{tag}"] = float(cell.blocks_repaired)
+        metrics[f"declared_lost_{tag}"] = float(cell.blocks_declared_lost)
+        metrics[f"exposed_{tag}"] = float(cell.corruption_exposed)
+        metrics[f"oracle_violations_{tag}"] = float(cell.oracle_violations)
+    return ExperimentResult(
+        experiment_id="integrity",
+        title="Table C: silent corruption vs. scrub interval and "
+        "replication factor",
+        rendered=study.render(),
+        metrics=metrics,
+        paper_expectation=PAPER_EXPECTATIONS["integrity"],
+    )
+
+
 _REGISTRY: dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
     "table1": _table1,
     "table2": _table2,
@@ -853,6 +969,7 @@ _REGISTRY: dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
     "faults": _faults,
     "rpc_loss": _rpc_loss,
     "replication": _replication,
+    "integrity": _integrity,
 }
 
 EXPERIMENT_IDS: tuple[str, ...] = tuple(_REGISTRY)

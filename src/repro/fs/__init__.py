@@ -12,12 +12,23 @@ data behind Tables 4-9.
 
 from repro.fs.config import ClusterConfig
 from repro.fs.faults import (
+    DiskFaultEvent,
+    DiskFaultKind,
     FaultConfig,
     FaultEvent,
     FaultInjector,
     FaultKind,
     FaultSchedule,
     SERVER_TARGET,
+)
+from repro.fs.integrity import (
+    IntegrityCell,
+    IntegrityManager,
+    IntegrityStudyResult,
+    block_checksum,
+    block_payload,
+    checksum_ok,
+    compute_integrity_study,
 )
 from repro.fs.counters import ClientCounters, CounterSnapshot, ServerCounters
 from repro.fs.cache import BlockCache, EvictionReason, CleanReason
@@ -87,4 +98,13 @@ __all__ = [
     "ReplicationManager",
     "ReplicationStudyResult",
     "compute_replication_study",
+    "DiskFaultEvent",
+    "DiskFaultKind",
+    "IntegrityCell",
+    "IntegrityManager",
+    "IntegrityStudyResult",
+    "block_checksum",
+    "block_payload",
+    "checksum_ok",
+    "compute_integrity_study",
 ]

@@ -76,6 +76,7 @@ _BLOCKS_REPLACED_FOR_FILE = _IDX["blocks_replaced_for_file"]
 _REPLACE_AGE_SUM_FILE = _IDX["replace_age_sum_file"]
 _FAILOVER_READS = _IDX["failover_reads"]
 _REPLICA_WRITEBACK_BLOCKS = _IDX["replica_writeback_blocks"]
+_CHECKSUM_FAILURES = _IDX["checksum_failures"]
 #: CleanReason -> (count index, age-sum index) for _clean_block.
 _CLEAN_IDX = {
     CleanReason.DELAY: (_IDX["blocks_cleaned_delay"], _IDX["clean_age_sum_delay"]),
@@ -122,6 +123,7 @@ class ClientKernel:
         placement: Placement | None = None,
         ticker: SharedTicker | None = None,
         replication=None,
+        integrity=None,
     ) -> None:
         self.client_id = client_id
         self.config = config
@@ -185,6 +187,9 @@ class ClientKernel:
         #: routing); with one it prefers the first live replica.
         self._replication = replication
         self._replicated = replication is not None
+        #: Integrity layer (repro.fs.integrity); None (the default)
+        #: keeps every read/write path exactly as before.
+        self.integrity = integrity
         self._routed_failover = False
         if self._replicated:
             self._route = self._route_replicated
@@ -666,7 +671,8 @@ class ClientKernel:
             if migrated:
                 counters[_MIGRATED_READ_MISSES] += 1
                 counters[_MIGRATED_READ_MISS_BYTES] += overlap
-            transport_call(now, "fetch_block", file_id, index, overlap)
+            if transport_call(now, "fetch_block", file_id, index, overlap) is False:
+                counters[_CHECKSUM_FAILURES] += 1
             if self.obs is not None:
                 self.obs.on_block_fetch(now, self.client_id, file_id, index, overlap)
             self._make_room(now)
@@ -741,9 +747,11 @@ class ClientKernel:
                     counters[_WRITE_FETCH_BYTES] += block_size
                     if migrated:
                         counters[_MIGRATED_WRITE_FETCH_OPS] += 1
-                    self.transports[shard].call(
+                    fetched = self.transports[shard].call(
                         now, "fetch_block", file_id, index, block_size
                     )
+                    if fetched is False:
+                        counters[_CHECKSUM_FAILURES] += 1
                     if self.obs is not None:
                         self.obs.on_block_fetch(
                             now, self.client_id, file_id, index, block_size
@@ -939,6 +947,10 @@ class ClientKernel:
         nbytes = max(1, min(block.written_end, self.config.block_size))
         age = max(0.0, now - block.dirty_since) if block.dirty_since >= 0 else 0.0
         counters = self.counters._values
+        if self.integrity is not None:
+            # One generation per cleaned block; the write_block RPCs
+            # below persist this generation on every replica they reach.
+            self.integrity.begin_write(block.file_id, block.index)
         if not self._replicated:
             self.transports[self._shard_of(block.file_id)].call(
                 now, "write_block", block.file_id, block.index, nbytes

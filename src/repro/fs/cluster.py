@@ -144,6 +144,39 @@ class Cluster:
             if oracle is not None:
                 oracle.replica_map = self.replication.replica_map
 
+        #: Integrity layer (repro.fs.integrity): per-block checksums,
+        #: verified reads with repair-from-replica, and the background
+        #: scrubber.  Built only when a disk-fault rate or scrub
+        #: interval (or an explicit schedule with disk events) asks for
+        #: it -- otherwise ``integrity`` stays None everywhere and the
+        #: replay is byte-identical to builds that predate it.
+        self.integrity = None
+        if (
+            config.faults.any_disk_faults
+            or config.scrub_interval > 0
+            or (fault_schedule is not None and fault_schedule.disk_events)
+        ):
+            from repro.fs.integrity import IntegrityManager
+
+            self.integrity = IntegrityManager(
+                self.servers,
+                replica_map=(
+                    self.replication.replica_map
+                    if self.replication is not None
+                    else None
+                ),
+            )
+            for server in self.servers:
+                server.integrity = self.integrity
+            if self.replication is not None:
+                self.replication.integrity = self.integrity
+            if oracle is not None:
+                oracle.integrity = self.integrity
+            if config.scrub_interval > 0:
+                self._scrub_sub = self.shared_ticker(
+                    config.scrub_interval
+                ).subscribe(self._scrub_tick)
+
         #: VM base demand: the window system and daemons hold a slab of
         #: memory permanently; per-client jitter keeps machines distinct.
         self.clients: list[ClientKernel] = []
@@ -176,6 +209,7 @@ class Cluster:
                 placement=self.placement,
                 ticker=self.shared_ticker(config.writeback_scan_interval),
                 replication=self.replication,
+                integrity=self.integrity,
             )
             for server in self.servers:
                 server.register_client(client)
@@ -235,6 +269,9 @@ class Cluster:
 
     def _client(self, client_id: int) -> ClientKernel:
         return self.clients[client_id % len(self.clients)]
+
+    def _scrub_tick(self) -> None:
+        self.integrity.scrub_tick(self.engine.now)
 
     # --- fault transitions -------------------------------------------------------
 
@@ -414,7 +451,9 @@ class Cluster:
     ) -> ClusterResult:
         """Replay a full trace and return the measurement data."""
         schedule = self._fault_schedule
-        if schedule is None and self.config.faults.any_faults:
+        if schedule is None and (
+            self.config.faults.any_faults or self.config.faults.any_disk_faults
+        ):
             schedule = FaultSchedule.generate(
                 self.config.faults,
                 self.config.client_count,
@@ -467,6 +506,11 @@ class Cluster:
             # so downtime_seconds reflects real wall time, not the
             # crash-time prediction.
             server.finalize_downtime(self.engine.now)
+        if self.integrity is not None and self.config.scrub_interval > 0:
+            # Close the scrub loop: one full verification pass so every
+            # detectable corruption is repaired (or declared lost) before
+            # the oracle's silent-corruption sweep and the final reading.
+            self.integrity.final_scrub(self.engine.now)
         self._take_snapshots()  # final reading
         if self.oracle is not None:
             self.oracle.final_check(self.engine.now, self.clients, self.servers)

@@ -86,6 +86,14 @@ class ClusterConfig:
     #: (the paper measured paging at roughly 35% of all traffic).
     paging_intensity: float = 1.0
 
+    #: Background scrub period in seconds (repro.fs.integrity): each
+    #: server's durable blocks are checksum-verified in chunks at this
+    #: interval, with a full verification pass at end of replay.  0 (the
+    #: default) disables scrubbing; combined with zero disk-fault rates
+    #: no integrity layer is built at all and replays stay
+    #: byte-identical to builds that predate it.
+    scrub_interval: float = 0.0
+
     #: Fault injection (server/client crashes, network partitions) and
     #: the RPC retry policy.  All rates default to zero: a default
     #: config replays byte-identically to a fault-free build.
@@ -117,6 +125,11 @@ class ClusterConfig:
             raise ConfigError(f"bad max cache fraction {self.max_cache_fraction}")
         if self.snapshot_interval <= 0:
             raise ConfigError("snapshot interval must be positive")
+        if self.scrub_interval < 0:
+            raise ConfigError(
+                f"scrub_interval must be >= 0 seconds (0 = scrubbing off), "
+                f"got {self.scrub_interval}"
+            )
         if not isinstance(self.faults, FaultConfig):
             raise ConfigError(
                 f"faults must be a FaultConfig, got {type(self.faults).__name__}"

@@ -215,6 +215,9 @@ _CLIENT_SPEC = (
     ("failover_reads", 0),  # reads served by a non-primary replica
     ("failover_ops", 0),  # any op routed around a down primary
     ("replica_writeback_blocks", 0),  # write_block fan-out, all targets
+    # --- integrity (repro.fs.integrity) -----------------------------------
+    # Zero unless disk faults or scrubbing are configured.
+    ("checksum_failures", 0),  # fetches that hit unrepairable corruption
 )
 
 
@@ -349,6 +352,16 @@ _SERVER_SPEC = (
     ("rereplication_blocks", 0),  # resident blocks copied with them
     ("heartbeats_missed", 0),  # beats this server failed to answer
     ("failure_detections", 0),  # times the detector declared this server dead
+    # --- integrity (repro.fs.integrity) -----------------------------------
+    # Zero unless disk faults or scrubbing are configured.
+    ("checksum_failures", 0),  # verified reads that caught corruption
+    ("blocks_repaired", 0),  # corrupt blocks restored from a live replica
+    ("blocks_declared_lost", 0),  # corruption with no valid copy left
+    ("scrub_blocks_checked", 0),  # blocks the scrubber verified
+    ("scrub_corruptions_found", 0),  # scrub detections (then repaired/lost)
+    ("disk_bit_rot_events", 0),  # injected: stored payload garbled
+    ("disk_torn_writes", 0),  # injected: write persisted garbled
+    ("disk_lost_writes", 0),  # injected: write acked, never persisted
 )
 
 

@@ -65,6 +65,40 @@ class FaultKind(enum.Enum):
     PARTITION = "partition"
 
 
+class DiskFaultKind(enum.Enum):
+    """How a disk lies (see :mod:`repro.fs.integrity`)."""
+
+    #: A durable block's stored payload is garbled in place.
+    BIT_ROT = "bit_rot"
+    #: The next write persists garbled bytes under the intended checksum.
+    TORN_WRITE = "torn_write"
+    #: The next write is acknowledged but never persisted.
+    LOST_WRITE = "lost_write"
+
+
+@dataclass(frozen=True, slots=True)
+class DiskFaultEvent:
+    """One injected disk fault.  Unlike a :class:`FaultEvent`, nothing
+    heals: corruption persists until detected and repaired, which is the
+    whole point of the integrity layer."""
+
+    time: float
+    kind: DiskFaultKind
+    server_id: int
+    #: Pre-drawn uniform in [0, 1) picking the bit-rot victim among the
+    #: server's durable blocks at fire time (unused by the armed kinds);
+    #: drawing it at schedule time keeps the replay RNG untouched.
+    selector: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigError(f"disk fault scheduled before time zero: {self.time}")
+        if self.server_id < 0:
+            raise ConfigError(f"disk fault needs a server id, got {self.server_id}")
+        if not 0.0 <= self.selector < 1.0:
+            raise ConfigError(f"disk fault selector must be in [0, 1): {self.selector}")
+
+
 @dataclass(frozen=True, slots=True)
 class FaultEvent:
     """One injected fault: something breaks at ``time`` and heals
@@ -142,6 +176,13 @@ class FaultConfig:
     #: Mean seconds a delayed message is late (exponential).
     message_delay_mean: float = 0.05
 
+    #: Disk faults (see :mod:`repro.fs.integrity`), events per server
+    #: per simulated hour.  All default to zero: no integrity layer is
+    #: built and replays stay byte-identical to builds without it.
+    disk_corruption_rate: float = 0.0  # bit-rot events
+    disk_torn_write_rate: float = 0.0
+    disk_lost_write_rate: float = 0.0
+
     def __post_init__(self) -> None:
         self.validate()
 
@@ -176,6 +217,16 @@ class FaultConfig:
             raise ConfigError(
                 f"message_delay_mean must be positive, got {self.message_delay_mean}"
             )
+        for name in (
+            "disk_corruption_rate",
+            "disk_torn_write_rate",
+            "disk_lost_write_rate",
+        ):
+            rate = getattr(self, name)
+            if rate < 0:
+                raise ConfigError(
+                    f"{name} must be >= 0 events per server-hour, got {rate}"
+                )
 
     @property
     def any_faults(self) -> bool:
@@ -196,6 +247,15 @@ class FaultConfig:
             or self.message_delay_rate > 0
         )
 
+    @property
+    def any_disk_faults(self) -> bool:
+        """True when a disk can lie (the integrity layer is needed)."""
+        return (
+            self.disk_corruption_rate > 0
+            or self.disk_torn_write_rate > 0
+            or self.disk_lost_write_rate > 0
+        )
+
 
 @dataclass
 class FaultSchedule:
@@ -208,14 +268,21 @@ class FaultSchedule:
     """
 
     events: list[FaultEvent] = field(default_factory=list)
+    #: Disk faults (bit rot, torn writes, lost writes); a separate list
+    #: because nothing heals them -- they have no duration, and they are
+    #: applied through the integrity layer, not the outage machinery.
+    disk_events: list[DiskFaultEvent] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self.events = sorted(
             self.events, key=lambda e: (e.time, e.kind.value, e.target)
         )
+        self.disk_events = sorted(
+            self.disk_events, key=lambda e: (e.time, e.kind.value, e.server_id)
+        )
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self.events) + len(self.disk_events)
 
     @classmethod
     def generate(
@@ -287,7 +354,49 @@ class FaultSchedule:
                 FaultKind.PARTITION,
                 client_id,
             )
-        return cls(events)
+
+        disk_events: list[DiskFaultEvent] = []
+
+        def draw_disk(
+            stream: RngStream,
+            rate_per_hour: float,
+            kind: DiskFaultKind,
+            server_id: int,
+        ) -> None:
+            if rate_per_hour <= 0:
+                return
+            mean_gap = 3600.0 / rate_per_hour
+            t = 0.0
+            while True:
+                t += stream.exponential(mean_gap)
+                if t >= duration:
+                    return
+                # The bit-rot victim selector is drawn here, at schedule
+                # time, so applying the fault consumes no replay RNG.
+                disk_events.append(
+                    DiskFaultEvent(t, kind, server_id, stream.random())
+                )
+
+        for server_id in range(num_servers):
+            draw_disk(
+                rng.fork(f"disk-bitrot-{server_id}"),
+                config.disk_corruption_rate,
+                DiskFaultKind.BIT_ROT,
+                server_id,
+            )
+            draw_disk(
+                rng.fork(f"disk-torn-{server_id}"),
+                config.disk_torn_write_rate,
+                DiskFaultKind.TORN_WRITE,
+                server_id,
+            )
+            draw_disk(
+                rng.fork(f"disk-lost-{server_id}"),
+                config.disk_lost_write_rate,
+                DiskFaultKind.LOST_WRITE,
+                server_id,
+            )
+        return cls(events, disk_events)
 
 
 class FaultInjector:
@@ -313,6 +422,8 @@ class FaultInjector:
             engine.schedule_at(event.time, _Apply(self, event))
             if obs is not None:
                 obs.on_fault_armed(event)
+        for disk_event in self.schedule.disk_events:
+            engine.schedule_at(disk_event.time, _ApplyDisk(self, disk_event))
 
     def apply(self, event: FaultEvent) -> None:
         cluster = self._cluster
@@ -340,6 +451,30 @@ class FaultInjector:
                 event.end_time, _Heal(cluster, client)
             )
 
+    def apply_disk(self, event: DiskFaultEvent) -> None:
+        """Fire one disk fault through the cluster's integrity layer.
+
+        A no-op on a cluster built without one (a scripted disk schedule
+        against a config that never asked for integrity): the fault has
+        no store to corrupt.
+        """
+        cluster = self._cluster
+        integrity = getattr(cluster, "integrity", None)
+        if integrity is None:
+            return
+        self.injected += 1
+        now = cluster.engine.now
+        server_id = event.server_id % len(cluster.servers)
+        obs = getattr(cluster, "obs", None)
+        if obs is not None:
+            obs.on_disk_fault(now, server_id, event.kind.value)
+        if event.kind is DiskFaultKind.BIT_ROT:
+            integrity.inject_bit_rot(now, server_id, event.selector)
+        elif event.kind is DiskFaultKind.TORN_WRITE:
+            integrity.arm_torn(server_id)
+        else:
+            integrity.arm_lost(server_id)
+
 
 class _Apply:
     """Picklable-free callback shims (plain closures would also work;
@@ -356,6 +491,20 @@ class _Apply:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"_Apply({self._event!r})"
+
+
+class _ApplyDisk:
+    __slots__ = ("_injector", "_event")
+
+    def __init__(self, injector: FaultInjector, event: DiskFaultEvent) -> None:
+        self._injector = injector
+        self._event = event
+
+    def __call__(self) -> None:
+        self._injector.apply_disk(self._event)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_ApplyDisk({self._event!r})"
 
 
 class _RecoverServer:

@@ -93,6 +93,10 @@ class ProtocolOracle:
         #: replica-divergence final check and switches the writeback
         #: ledger to the fan-out counter.
         self.replica_map: Any | None = None
+        #: The cluster's :class:`~repro.fs.integrity.IntegrityManager`,
+        #: set by the cluster when the integrity layer is built; enables
+        #: the end-state silent-corruption sweep.
+        self.integrity: Any | None = None
 
     def _flag(self, invariant: str, time: float, details: str) -> None:
         violation = Violation(
@@ -212,6 +216,19 @@ class ProtocolOracle:
                 )
         if self.replica_map is not None and servers is not None:
             self._check_replica_divergence(now, servers)
+        if self.integrity is not None:
+            # **No silent corruption at end of replay** -- every durable
+            # block an up server acknowledged either verifies against
+            # its checksum and acknowledged generation, or its loss was
+            # detected and booked (declared lost / flagged by a read or
+            # scrub).  Anything else is corruption the integrity
+            # machinery never saw: the one failure mode checksums and
+            # scrubbing exist to rule out.
+            self.checks_run += 1
+            if self.obs is not None:
+                self.obs.on_oracle_check(now, "final", -1, "silent-corruption")
+            for detail in self.integrity.silent_corruption_report():
+                self._flag("silent-corruption", now, detail)
         for client in clients:
             self.checks_run += 1
             if self.obs is not None:

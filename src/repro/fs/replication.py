@@ -130,16 +130,24 @@ class ReplicationManager:
         #: snapshot lag is fine: declaration needs k missed beats, so a
         #: crashed server is routed around long before it is declared).
         self._dead: set[int] = set()
-        #: Pushes a down replica missed: server -> {file -> version},
-        #: where ``None`` records a delete.  Applied (in file order) at
-        #: recovery, before the clients' reopen sweeps re-register.
-        self._pending: dict[int, dict[int, int | None]] = {}
+        #: Pushes a down replica missed: server -> {file ->
+        #: (delete_pending, version)}.  ``delete_pending`` records that
+        #: the file was deleted while the replica was down, so its stale
+        #: durable copy must be invalidated -- *before* any version is
+        #: applied, because a deleted-then-recreated file's new version
+        #: must not max-merge against the pre-delete stamp.  Applied (in
+        #: file order) at recovery, before the clients' reopen sweeps
+        #: re-register.
+        self._pending: dict[int, dict[int, tuple[bool, int | None]]] = {}
         #: Test hook: servers that silently drop propagation (both the
         #: live fan-out and the pending log).  Used by the oracle's
         #: negative tests to manufacture replica divergence.
         self.skip_propagation_to: set[int] = set()
         #: Optional observability hook (repro.obs); every use is guarded.
         self.obs = None
+        #: Integrity layer (repro.fs.integrity), set by the cluster when
+        #: built; re-replication then copies verified block content too.
+        self.integrity = None
         self._subscription = ticker.subscribe(self._heartbeat_tick)
 
     # --- the failure detector ----------------------------------------------------
@@ -164,11 +172,25 @@ class ReplicationManager:
 
     def queue_pending(self, server_id: int, file_id: int, version: int | None) -> None:
         """Record a push a down replica missed (``None`` = a delete).
-        A later push for the same file replaces the entry -- the log
-        keeps outcomes, not history."""
+
+        The log keeps outcomes, not history: a delete *drops* any
+        version queued earlier (replaying a push for a file that no
+        longer exists would resurrect it), and a later push for a
+        deleted file marks it deleted-then-recreated so recovery
+        invalidates the stale durable copy before stamping the new
+        version.
+        """
         if server_id in self.skip_propagation_to:
             return
-        self._pending.setdefault(server_id, {})[file_id] = version
+        log = self._pending.setdefault(server_id, {})
+        if version is None:
+            log[file_id] = (True, None)
+            return
+        entry = log.get(file_id)
+        if entry is not None and entry[0]:
+            log[file_id] = (True, version)
+        else:
+            log[file_id] = (False, version)
 
     def flush_pending(self, server_id: int) -> None:
         """Apply (and clear) a server's pending log.
@@ -183,10 +205,13 @@ class ReplicationManager:
             return
         server = self.servers[server_id]
         for file_id in sorted(pending):
-            version = pending[file_id]
-            if version is None:
+            deleted, version = pending[file_id]
+            if deleted:
+                # Invalidate first: after it, the server reads as
+                # version 0, so a recreate's version applies exactly
+                # rather than max-merging against the pre-delete stamp.
                 server.invalidate_file(file_id)
-            else:
+            if version is not None:
                 server.apply_replica_version(file_id, version)
 
     # --- cluster transitions -----------------------------------------------------
@@ -251,6 +276,8 @@ class ReplicationManager:
             target.counters.rereplicated_files += 1
             target.counters.rereplication_blocks += len(blocks)
             rmap.add_substitute(file_id, target_id, dead_id)
+            if self.integrity is not None:
+                self.integrity.copy_file(now, src, target_id, file_id)
             if self.obs is not None:
                 self.obs.on_rereplication(
                     now, dead_id, target_id, file_id, len(blocks)

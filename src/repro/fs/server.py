@@ -102,6 +102,10 @@ class Server:
         #: Optional observability hook (repro.obs); every use is guarded
         #: so None (the default) leaves all code paths untouched.
         self.obs = None
+        #: The cluster's IntegrityManager (repro.fs.integrity) when the
+        #: integrity layer is on; None (the default) leaves the data
+        #: plane exactly as before -- no store, no hashing.
+        self.integrity = None
 
     def register_client(self, client: "ClientKernel") -> None:
         if client.client_id in self._clients:
@@ -381,17 +385,30 @@ class Server:
 
     # --- data plane -----------------------------------------------------------
 
-    def fetch_block(self, now: float, file_id: int, index: int, nbytes: int) -> None:
-        """A client cache fetches a block (read miss or write fetch)."""
+    def fetch_block(
+        self, now: float, file_id: int, index: int, nbytes: int
+    ) -> bool | None:
+        """A client cache fetches a block (read miss or write fetch).
+
+        Returns None without the integrity layer (the historical
+        no-reply contract); with it, True for a verified (or repaired)
+        block and False when the block is corrupt beyond repair -- a
+        declared loss the client books as a checksum failure.
+        """
         counters = self.counters._values
         counters[_RPC_COUNT] += 1
         counters[_BLOCK_READS] += 1
         counters[_BLOCK_READ_BYTES] += nbytes
         if self.cache.access(file_id, index, now):
             counters[_SERVER_CACHE_HITS] += 1
+            hit = True
         else:
             counters[_SERVER_CACHE_MISSES] += 1
             counters[_DISK_READS] += 1
+            hit = False
+        if self.integrity is None:
+            return None
+        return self.integrity.verify_read(self, now, file_id, index, hit)
 
     def write_block(self, now: float, file_id: int, index: int, nbytes: int) -> None:
         """A client writes back a dirty block."""
@@ -403,6 +420,8 @@ class Server:
         # 30 seconds later the server's own daemon writes it to disk;
         # the model books the disk write immediately (same count).
         counters[_DISK_WRITES] += 1
+        if self.integrity is not None:
+            self.integrity.server_write(self, now, file_id, index)
 
     def passthrough_read(self, now: float, file_id: int, nbytes: int) -> None:
         """An uncacheable read (shared file or directory)."""
@@ -432,3 +451,5 @@ class Server:
         """Drop all server state for a deleted file."""
         self._files.pop(file_id, None)
         self.cache.invalidate_file(file_id)
+        if self.integrity is not None:
+            self.integrity.invalidate_file(self.server_id, file_id)

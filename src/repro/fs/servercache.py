@@ -31,8 +31,18 @@ class ServerCache:
         self._blocks: OrderedDict[tuple[int, int], float] = OrderedDict()
         #: file_id -> resident block indexes (mirrors ``_blocks`` keys).
         self._by_file: dict[int, set[int]] = {}
+        #: (file_id, index) -> (payload, checksum) content mirrors for
+        #: the integrity layer (repro.fs.integrity); None (the default)
+        #: skips every mirror branch below, so caches without integrity
+        #: run exactly the old code.
+        self.payloads: dict[tuple[int, int], tuple[int, int]] | None = None
         self.hits = 0
         self.misses = 0
+
+    def enable_integrity(self) -> None:
+        """Start mirroring block content for verified reads."""
+        if self.payloads is None:
+            self.payloads = {}
 
     def __len__(self) -> int:
         return len(self._blocks)
@@ -65,12 +75,16 @@ class ServerCache:
         blocks[key] = now
         if len(blocks) > self.capacity_blocks:
             by_file = self._by_file
+            payloads = self.payloads
             while len(blocks) > self.capacity_blocks:
-                evicted_file, evicted_index = blocks.popitem(last=False)[0]
+                evicted = blocks.popitem(last=False)[0]
+                evicted_file, evicted_index = evicted
                 indexes = by_file[evicted_file]
                 indexes.discard(evicted_index)
                 if not indexes:
                     del by_file[evicted_file]
+                if payloads is not None:
+                    payloads.pop(evicted, None)
 
     def clear(self) -> int:
         """Drop everything (a server crash loses the whole cache);
@@ -79,6 +93,8 @@ class ServerCache:
         count = len(self._blocks)
         self._blocks.clear()
         self._by_file.clear()
+        if self.payloads is not None:
+            self.payloads.clear()
         return count
 
     def invalidate_file(self, file_id: int) -> int:
@@ -87,6 +103,9 @@ class ServerCache:
         if not indexes:
             return 0
         blocks = self._blocks
+        payloads = self.payloads
         for index in indexes:
             del blocks[(file_id, index)]
+            if payloads is not None:
+                payloads.pop((file_id, index), None)
         return len(indexes)

@@ -96,6 +96,9 @@ class Observation:
         replication = getattr(cluster, "replication", None)
         if replication is not None:
             replication.obs = self
+        integrity = getattr(cluster, "integrity", None)
+        if integrity is not None:
+            integrity.obs = self
         shared_ticker = getattr(cluster, "shared_ticker", None)
         self.sampler.attach(
             cluster.engine, cluster.clients, servers,
@@ -272,6 +275,46 @@ class Observation:
         self.tracer.instant(
             now, server_pid(target_id), "replication", "rereplicated",
             args={"from_dead": dead_id, "file": file_id, "blocks": blocks},
+        )
+
+    # --- integrity --------------------------------------------------------------
+
+    def on_disk_fault(self, now: float, server_id: int, kind: str) -> None:
+        self.tracer.instant(
+            now, server_pid(server_id), "integrity", f"disk-fault:{kind}"
+        )
+
+    def on_checksum_failure(
+        self, now: float, server_id: int, file_id: int, index: int, where: str
+    ) -> None:
+        self.tracer.instant(
+            now, server_pid(server_id), "integrity", "checksum-failure",
+            args={"file": file_id, "block": index, "where": where},
+        )
+
+    def on_integrity_repair(
+        self, now: float, server_id: int, file_id: int,
+        index: int, source_id: int,
+    ) -> None:
+        self.tracer.instant(
+            now, server_pid(server_id), "integrity", "repaired",
+            args={"file": file_id, "block": index, "from": source_id},
+        )
+
+    def on_block_declared_lost(
+        self, now: float, server_id: int, file_id: int, index: int
+    ) -> None:
+        self.tracer.instant(
+            now, server_pid(server_id), "integrity", "declared-lost",
+            args={"file": file_id, "block": index},
+        )
+
+    def on_scrub(
+        self, now: float, server_id: int, checked: int, detected: int
+    ) -> None:
+        self.tracer.instant(
+            now, server_pid(server_id), "integrity", "scrub",
+            args={"checked": checked, "detected": detected},
         )
 
     # --- oracle -----------------------------------------------------------------
