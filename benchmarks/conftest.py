@@ -76,10 +76,10 @@ def _bench_cache() -> bool | str:
 # --- the unified bench-report writer ----------------------------------------
 
 
-def _git_commit() -> str | None:
+def _git(*args: str) -> str | None:
     try:
         proc = subprocess.run(
-            ["git", "rev-parse", "HEAD"],
+            ["git", *args],
             cwd=Path(__file__).parent,
             capture_output=True,
             text=True,
@@ -87,8 +87,20 @@ def _git_commit() -> str | None:
         )
     except OSError:
         return None
-    commit = proc.stdout.strip()
-    return commit if proc.returncode == 0 and commit else None
+    out = proc.stdout.strip()
+    return out if proc.returncode == 0 else None
+
+
+def _git_commit() -> str | None:
+    return _git("rev-parse", "HEAD") or None
+
+
+def _tree_is_dirty() -> bool:
+    """True when the working tree differs from HEAD (untracked files
+    don't count -- they can't make the stamped commit a lie about the
+    measured code)."""
+    status = _git("status", "--porcelain", "--untracked-files=no")
+    return bool(status)
 
 
 def _machine_info() -> dict:
@@ -120,18 +132,35 @@ def calibration_seconds(repeats: int = 3) -> float:
     return best
 
 
-def write_bench_json(name: str, payload: dict) -> Path:
+def write_bench_json(
+    name: str, payload: dict, *, allow_dirty: bool = False
+) -> Path:
     """Write ``benchmarks/<name>`` with the shared report envelope.
 
     ``payload`` keys land at the top level next to ``schema_version``,
     ``commit``, and ``machine`` (those three names are reserved).
+
+    The commit is resolved *at write time*, and a dirty working tree is
+    refused (unless ``allow_dirty``): BENCH_scale.json once shipped
+    stamped with the previous PR's commit because the regen ran before
+    the code was committed -- the stamp described code that did not
+    produce the numbers.  Regenerate committed reports on a clean tree:
+    commit the code change first, then run ``--regen-bench`` and commit
+    the JSON diff as its own change.
     """
     reserved = {"schema_version", "commit", "machine"} & payload.keys()
     if reserved:
         raise ValueError(f"payload shadows envelope keys: {sorted(reserved)}")
+    commit = _git_commit()
+    if not allow_dirty and _tree_is_dirty():
+        raise RuntimeError(
+            f"refusing to write {name}: the git tree is dirty, so stamping "
+            f"commit {commit and commit[:12]} would misattribute the "
+            "measurement.  Commit (or stash) first, then regenerate."
+        )
     document = {
         "schema_version": BENCH_SCHEMA_VERSION,
-        "commit": _git_commit(),
+        "commit": commit,
         "machine": _machine_info(),
         **payload,
     }
@@ -179,4 +208,6 @@ def pytest_sessionfinish(session) -> None:
     report["workers"] = context.workers
     cache = context._artifact_cache
     report["cache"] = cache.stats.as_dict() if cache is not None else None
-    write_bench_json("BENCH_pipeline.json", report)
+    # Pipeline timing is a per-run diagnostic, not a committed gate:
+    # writing it from a dirty tree is fine.
+    write_bench_json("BENCH_pipeline.json", report, allow_dirty=True)

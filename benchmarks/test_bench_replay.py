@@ -7,8 +7,13 @@ Two committed reports come out of this module (regenerate with
   the speedup over the recorded pre-optimization baseline.  The
   committed copy doubles as the CI smoke gate: a run whose wall clock
   regresses more than 25% over the committed figure fails.
-* ``BENCH_scale.json`` -- the scaling curve (clients x wall clock x
-  peak RSS) at population scales 0.05 / 0.5 / 2 / 10.
+* ``BENCH_scale.json`` -- the scale-out curve (clients x wall clock x
+  peak RSS) at population scales 0.05 / 0.5 / 2 / 10, measured on the
+  partitioned pipeline (columnar generation, streaming consumption,
+  sharded replay + deterministic merge; DESIGN.md §15).  The scale=2
+  point doubles as CI's scale-smoke gate
+  (``test_bench_partitioned_scale2_smoke``), and the scale=10 row
+  asserts the sub-2-GB peak-RSS target outright.
 
 Both record :func:`conftest.calibration_seconds` as context: on a much
 slower machine the gate will trip spuriously -- compare the calibration
@@ -25,6 +30,11 @@ import time
 import pytest
 
 from repro.fs import ClusterConfig, run_cluster_on_trace
+from repro.pipeline.scaleout import (
+    ScaleOutPlan,
+    build_group_traces,
+    run_partitioned_replay,
+)
 from repro.workload import STANDARD_PROFILES, generate_trace
 
 from conftest import calibration_seconds, load_bench_json, write_bench_json
@@ -128,22 +138,67 @@ def test_bench_replay_scale1(regen_bench):
     )
 
 
+#: The scale-out population rule: every group is a golden-sized block
+#: (generated at scale 0.05, four clients), so ``scale=10`` means 200
+#: groups and 800 clients.  Shards cap at 4: on the bench host shards
+#: beyond the core count only repeat the fixed day-simulation cost.
+def _scale_out_plan(scale: float) -> ScaleOutPlan:
+    return ScaleOutPlan(
+        profile=STANDARD_PROFILES[0],
+        seed=1991,
+        scale=scale,
+        groups=max(1, round(scale / 0.05)),
+    )
+
+
+#: Hard ceiling from the scale-out acceptance bar: the scale=10
+#: partitioned replay must complete under 2 GB peak RSS.
+MAX_SCALE10_RSS_MB = 2048
+
+
+def _partitioned_replay_once(scale: float) -> dict:
+    """Columnar generation + partitioned streaming replay at ``scale``."""
+    plan = _scale_out_plan(scale)
+    shards = min(plan.groups, 4)
+    gc.collect()
+    start = time.perf_counter()
+    traces = build_group_traces(plan)
+    gen_wall = time.perf_counter() - start
+    records = sum(trace.record_count for trace in traces)
+    start = time.perf_counter()
+    result = run_partitioned_replay(plan, traces, shards=shards)
+    replay_wall = time.perf_counter() - start
+    assert result.records_replayed == records
+    return {
+        "scale": scale,
+        "groups": plan.groups,
+        "shards": shards,
+        "clients": plan.client_count,
+        "records": records,
+        "generate_seconds": round(gen_wall, 3),
+        "wall_seconds": round(replay_wall, 3),
+        "records_per_second": round(records / replay_wall),
+        "peak_rss_mb": round(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+        ),
+    }
+
+
 @pytest.mark.slow
 def test_bench_replay_scale_curve(regen_bench):
-    """The scaling curve: clients x wall x peak RSS through scale=10."""
+    """The scale-out curve: clients x wall x peak RSS through scale=10,
+    on the partitioned pipeline (columnar + streaming + sharded)."""
     rows = []
     # Increasing order on purpose: ru_maxrss is a process-lifetime peak,
     # so each row's figure is dominated by its own (largest-yet) run.
     for scale in (0.05, 0.5, 2.0, 10.0):
-        row = _replay_once(scale)
-        row["peak_rss_mb"] = round(
-            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
-        )
+        row = _partitioned_replay_once(scale)
         rows.append(row)
         print(
-            f"\nscale={scale}: {row['clients']} clients, "
-            f"{row['records']:,} records, {row['wall_seconds']:.2f}s, "
-            f"peak RSS {row['peak_rss_mb']} MB"
+            f"\nscale={scale}: {row['clients']} clients in "
+            f"{row['groups']} groups, {row['records']:,} records, "
+            f"gen {row['generate_seconds']:.2f}s + replay "
+            f"{row['wall_seconds']:.2f}s, peak RSS {row['peak_rss_mb']} MB"
         )
     report = {
         "calibration_seconds": round(calibration_seconds(), 4),
@@ -154,11 +209,14 @@ def test_bench_replay_scale_curve(regen_bench):
         "rows": rows,
     }
 
-    # Sanity: work and cost grow with scale (the interesting numbers --
-    # absolute wall and RSS -- live in the committed JSON, not asserts).
+    # Work and cost grow with scale, and the tentpole target holds: the
+    # scale=10 population (800 clients, millions of records) streams
+    # and shards its way under the 2 GB peak-RSS bar.
     for smaller, larger in zip(rows, rows[1:]):
         assert smaller["records"] < larger["records"]
         assert smaller["wall_seconds"] < larger["wall_seconds"]
+    assert rows[-1]["clients"] >= 800
+    assert rows[-1]["peak_rss_mb"] < MAX_SCALE10_RSS_MB
 
     if regen_bench:
         write_bench_json("BENCH_scale.json", report)
@@ -171,3 +229,39 @@ def test_bench_replay_scale_curve(regen_bench):
     assert [r["scale"] for r in committed["rows"]] == [
         r["scale"] for r in rows
     ]
+
+
+@pytest.mark.slow
+def test_bench_partitioned_scale2_smoke():
+    """CI's scale-smoke gate: one scale=2 partitioned replay must stay
+    under the wall-clock and peak-RSS thresholds committed in
+    BENCH_scale.json.  Marked slow so the bench-smoke job's
+    ``-m "not slow"`` skips it; the dedicated scale-smoke leg selects
+    it by name (``-k partitioned_scale2``)."""
+    committed = load_bench_json("BENCH_scale.json")
+    assert committed is not None, (
+        "benchmarks/BENCH_scale.json is missing; run "
+        "pytest benchmarks/test_bench_replay.py --regen-bench to create it"
+    )
+    baseline = next(r for r in committed["rows"] if r["scale"] == 2.0)
+    row = _partitioned_replay_once(2.0)
+    print(
+        f"\nscale=2 smoke: gen {row['generate_seconds']:.2f}s + replay "
+        f"{row['wall_seconds']:.2f}s (committed {baseline['wall_seconds']}s), "
+        f"peak RSS {row['peak_rss_mb']} MB "
+        f"(committed {baseline['peak_rss_mb']} MB)"
+    )
+    assert row["clients"] == baseline["clients"]
+    assert row["records"] == baseline["records"]  # seeded -- exact
+    ratio = row["wall_seconds"] / baseline["wall_seconds"]
+    assert ratio <= 2.0, (
+        f"scale=2 partitioned replay regressed {ratio:.2f}x vs the "
+        f"committed row ({row['wall_seconds']:.2f}s now vs "
+        f"{baseline['wall_seconds']}s committed).  Check the "
+        "calibration_seconds figures first -- a much slower machine "
+        "trips this too; if intentional, rebase with --regen-bench."
+    )
+    assert row["peak_rss_mb"] <= baseline["peak_rss_mb"] * 1.5, (
+        f"scale=2 partitioned replay peak RSS {row['peak_rss_mb']} MB "
+        f"exceeds 1.5x the committed {baseline['peak_rss_mb']} MB"
+    )

@@ -60,6 +60,19 @@ class RngStream:
         """Uniform float in [0, 1)."""
         return self._random.random()
 
+    def randoms(self, count: int) -> list[float]:
+        """``count`` uniform floats in [0, 1), drawn in sequence.
+
+        Batch form of :meth:`random`: the returned list is exactly what
+        ``[self.random() for _ in range(count)]`` would produce, so a
+        consumer that uses the values *in order* is byte-identical to
+        one drawing them one at a time.  The point is amortization --
+        one bound-method lookup for the whole batch -- on vectorized
+        paths like the workload generator's rejection sampler.
+        """
+        draw = self._random.random
+        return [draw() for _ in range(count)]
+
     def uniform(self, low: float, high: float) -> float:
         """Uniform float in [low, high]."""
         return self._random.uniform(low, high)

@@ -83,6 +83,26 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 = one per CPU core; default 1, serial)",
     )
     parser.add_argument(
+        "--scale-out",
+        type=int,
+        default=0,
+        metavar="GROUPS",
+        help="instead of an experiment table, run a partitioned scale-out "
+        "replay (repro.pipeline.scaleout): GROUPS independent client "
+        "groups generated at --scale, replayed shard-by-shard across "
+        "--workers processes and merged byte-identically; prints merged "
+        "totals and the aggregate digest (the experiment positional is "
+        "ignored)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="replay shards for --scale-out (default: one per group); "
+        "any N in [1, GROUPS] merges to the identical result",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="rebuild everything; do not read or write the artifact cache",
@@ -128,6 +148,58 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_scale_out(args, context: ExperimentContext) -> int:
+    """The ``--scale-out`` mode: partitioned generate + replay + merge."""
+    from repro.pipeline.scaleout import (
+        ScaleOutPlan,
+        build_group_traces,
+        run_partitioned_replay,
+    )
+    from repro.workload.profiles import STANDARD_PROFILES
+
+    plan = ScaleOutPlan(
+        profile=STANDARD_PROFILES[0],
+        seed=args.seed,
+        scale=args.scale,
+        groups=args.scale_out,
+        replay_seed=args.seed,
+    )
+    shards = args.shards or plan.groups
+    report = context.pipeline_report
+    traces = build_group_traces(
+        plan,
+        workers=args.workers,
+        cache=context._artifact_cache,
+        report=report,
+    )
+    records = sum(trace.record_count for trace in traces)
+    print(
+        f"scale-out plan: scale={plan.scale:g} groups={plan.groups} "
+        f"shards={shards} clients={plan.client_count} "
+        f"servers={plan.num_servers} records={records}"
+    )
+    result = run_partitioned_replay(
+        plan,
+        traces,
+        shards=shards,
+        workers=args.workers,
+        cache=context._artifact_cache,
+        report=report,
+    )
+    print(
+        f"replayed {result.records_replayed} records; "
+        f"aggregate digest {result.server_counters.digest()[:16]}"
+    )
+    for stage in report.stages:
+        print(
+            f"  {stage.stage}: {stage.seconds:.1f}s "
+            f"(tasks={stage.tasks}, workers={stage.workers}, "
+            f"effective={stage.workers_effective}, "
+            f"hits={stage.cache_hits}, misses={stage.cache_misses})"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -153,6 +225,16 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(
             f"--scrub-interval must be >= 0, got {args.scrub_interval}"
         )
+    if args.scale_out < 0:
+        parser.error(f"--scale-out must be >= 1 groups, got {args.scale_out}")
+    if args.shards:
+        if not args.scale_out:
+            parser.error("--shards requires --scale-out")
+        if not 1 <= args.shards <= args.scale_out:
+            parser.error(
+                f"--shards must be in [1, --scale-out={args.scale_out}], "
+                f"got {args.shards}"
+            )
     if not args.obs:
         if args.obs_sample_interval is not None:
             parser.error("--obs-sample-interval requires --obs")
@@ -176,6 +258,8 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         cache=cache,
     )
+    if args.scale_out:
+        return _run_scale_out(args, context)
     if args.figures_dir:
         from repro.experiments.report import export_figure_data
 

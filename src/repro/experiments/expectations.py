@@ -134,4 +134,17 @@ PAPER_EXPECTATIONS: dict[str, str] = {
         "-- and the oracle's violation count -- drops to exactly "
         "zero."
     ),
+    "scale_out": (
+        "Not measured by the paper -- its cluster topped out at a few "
+        "dozen active clients, counted by one kernel per machine.  "
+        "Expected shape: a population built as independent id-strided "
+        "groups replays to exactly the same counters whether the whole "
+        "merged trace runs through one simulated cluster or each "
+        "group's records run through their own shard and the machine "
+        "states are merged -- every client digest, every per-server "
+        "row, and the aggregate identical at every shard count.  Any "
+        "divergence means groups can observe each other and the "
+        "scaled-up replays (hundreds to thousands of clients) cannot "
+        "be trusted."
+    ),
 }

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
+from hashlib import sha256
 from typing import Callable
 
 from repro.analysis import (
@@ -83,7 +84,7 @@ from repro.pipeline import (
 )
 from repro.pipeline.runner import run_stage, trace_tasks
 from repro.pipeline.tasks import ReplayTask
-from repro.workload import SyntheticTrace
+from repro.workload import STANDARD_PROFILES, SyntheticTrace
 
 
 @dataclass
@@ -949,6 +950,109 @@ def _integrity(ctx: ExperimentContext) -> ExperimentResult:
     )
 
 
+#: Population blocks of the scale-out identity study (Table D).  Four
+#: groups keeps the study fast at golden scale while still exercising
+#: multi-group merge order, and divides evenly into the 1/2/4-shard
+#: sweep below.
+SCALE_OUT_GROUPS = 4
+SCALE_OUT_SHARD_SWEEP: tuple[int, ...] = (1, 2, 4)
+
+
+def _scale_out(ctx: ExperimentContext) -> ExperimentResult:
+    """Table D: partitioned replay pinned against the unpartitioned one.
+
+    The same grouped population (four independently generated,
+    id-strided groups) is replayed two ways: the whole merged trace
+    through one cluster, and group shards through independent clusters
+    merged by :func:`repro.fs.cluster.merge_cluster_results`.  Every
+    client's counters, every server's row, the aggregate, and the
+    snapshot series must be byte-identical (SHA-256 of exact values)
+    at every shard count -- the property that makes replaying
+    thousands of clients across a worker pool trustworthy.
+    """
+    from repro.pipeline.scaleout import (
+        ScaleOutPlan,
+        build_group_traces,
+        run_partitioned_replay,
+        run_unpartitioned_replay,
+    )
+
+    plan = ScaleOutPlan(
+        profile=STANDARD_PROFILES[0],
+        seed=ctx.seed,
+        scale=ctx.scale,
+        groups=SCALE_OUT_GROUPS,
+        replay_seed=ctx.seed,
+    )
+    traces = build_group_traces(
+        plan,
+        workers=ctx.workers,
+        cache=ctx._artifact_cache,
+        report=ctx.pipeline_report,
+    )
+    reference = run_unpartitioned_replay(plan, traces)
+
+    def digests(result: ClusterResult) -> tuple[str, str, str]:
+        clients = sha256(
+            "".join(
+                result.final_counters[c].digest()
+                for c in sorted(result.final_counters)
+            ).encode("ascii")
+        ).hexdigest()
+        servers = sha256(
+            "".join(
+                row.digest() for row in result.per_server_counters
+            ).encode("ascii")
+        ).hexdigest()
+        return clients, servers, result.server_counters.digest()
+
+    ref_digests = digests(reference)
+    lines = [
+        "Table D.  Partitioned replay identity "
+        f"(trace1, groups={plan.groups}, clients={plan.client_count}, "
+        f"servers={plan.num_servers}, records={reference.records_replayed})",
+        "",
+        f"{'shards':>8} {'clients':>10} {'servers':>10} "
+        f"{'aggregate':>10} {'records':>9}",
+    ]
+    metrics: dict[str, float] = {
+        "groups": float(plan.groups),
+        "clients": float(plan.client_count),
+        "records_replayed": float(reference.records_replayed),
+    }
+    for shards in SCALE_OUT_SHARD_SWEEP:
+        part = run_partitioned_replay(
+            plan,
+            traces,
+            shards=shards,
+            workers=ctx.workers,
+            cache=ctx._artifact_cache,
+            report=ctx.pipeline_report,
+        )
+        part_digests = digests(part)
+        flags = [
+            "identical" if a == b else "DIVERGED"
+            for a, b in zip(part_digests, ref_digests)
+        ]
+        lines.append(
+            f"{shards:>8} {flags[0]:>10} {flags[1]:>10} {flags[2]:>10} "
+            f"{part.records_replayed:>9}"
+        )
+        metrics[f"identical_shards_{shards}"] = float(
+            part_digests == ref_digests
+            and part.records_replayed == reference.records_replayed
+        )
+    lines.append("")
+    lines.append(f"aggregate digest: {ref_digests[2][:16]}")
+    return ExperimentResult(
+        experiment_id="scale_out",
+        title="Table D: partitioned replay vs unpartitioned reference",
+        rendered="\n".join(lines),
+        metrics=metrics,
+        paper_expectation=PAPER_EXPECTATIONS["scale_out"],
+    )
+
+
 _REGISTRY: dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
     "table1": _table1,
     "table2": _table2,
@@ -970,6 +1074,7 @@ _REGISTRY: dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
     "rpc_loss": _rpc_loss,
     "replication": _replication,
     "integrity": _integrity,
+    "scale_out": _scale_out,
 }
 
 EXPERIMENT_IDS: tuple[str, ...] = tuple(_REGISTRY)

@@ -124,6 +124,7 @@ class ClientKernel:
         ticker: SharedTicker | None = None,
         replication=None,
         integrity=None,
+        paging_shard: int | None = None,
     ) -> None:
         self.client_id = client_id
         self.config = config
@@ -143,8 +144,13 @@ class ClientKernel:
             for shard, rng in zip(servers, channel_rngs)
         ]
         #: Backing-file paging is pinned to one shard per client (a
-        #: process's backing file lives on a single server).
-        self._paging_shard = client_id % len(servers)
+        #: process's backing file lives on a single server).  Grouped
+        #: clusters pass an explicit shard so the pin stays inside the
+        #: client's group slice.
+        self._paging_shard = (
+            paging_shard if paging_shard is not None
+            else client_id % len(servers)
+        )
         self.counters = ClientCounters()
         self.cache = BlockCache(config.block_size)
         #: Optional observability hook (repro.obs); every use is guarded

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.common.errors import SimulationError
+from repro.common.errors import ConfigError, SimulationError
 from repro.common.rng import RngStream
 from repro.common.units import MB
 from repro.fs.client import ClientKernel
@@ -22,7 +22,7 @@ from repro.fs.faults import FaultInjector, FaultSchedule
 from repro.fs.oracle import ProtocolOracle
 from repro.fs.paging import PagingModel
 from repro.fs.server import Server
-from repro.fs.sharding import Placement
+from repro.fs.sharding import Placement, _mix64
 from repro.fs.vm import VirtualMemory
 from repro.sim.engine import Engine
 from repro.sim.timers import SharedTicker
@@ -118,6 +118,25 @@ class Cluster:
         #: File -> server placement; a pure function of the file id and
         #: ``config.placement_seed``, independent of the replay seed.
         self.placement = Placement(config.num_servers, config.placement_seed)
+        #: Partitioned replay (``config.client_groups > 1``): every
+        #: client routes through its group's :class:`GroupPlacement`
+        #: view, so no server ever serves two groups, and the per-close
+        #: fsync decision becomes a pure hash of the open id -- the only
+        #: cluster-level RNG draw the replay loop made, and the one
+        #: thing that would have sequenced groups against each other.
+        #: ``groups == 1`` keeps the historical bernoulli draw, byte-
+        #: identical to builds that predate grouping.
+        groups = config.client_groups
+        self._fsync_salt = 0
+        self._fsync_threshold: int | None = None
+        if groups > 1:
+            if fault_schedule is not None:
+                raise ConfigError(
+                    "explicit fault schedules are not supported with "
+                    "client_groups > 1"
+                )
+            self._fsync_salt = _mix64(seed ^ 0x9E3779B97F4A7C15)
+            self._fsync_threshold = int(config.fsync_probability * 2.0**64)
         self.servers: list[Server] = [
             Server(config.server_memory, config.block_size, server_id=i)
             for i in range(config.num_servers)
@@ -182,6 +201,8 @@ class Cluster:
         self.clients: list[ClientKernel] = []
         self.paging: list[PagingModel] = []
         binaries = PagingModel.build_binaries(self.rng.fork("binaries"))
+        clients_per_group = config.client_count // groups
+        servers_per_group = config.num_servers // groups
         for client_id in range(config.client_count):
             client_rng = self.rng.fork(f"client-{client_id}")
             base_pages = int(
@@ -202,14 +223,27 @@ class Cluster:
                 client_rng.fork(f"channel-{i}")
                 for i in range(1, config.num_servers)
             ]
+            if groups > 1:
+                group = client_id // clients_per_group
+                client_placement = self.placement.group_view(group, groups)
+                # Pin paging inside the group's server slice (the
+                # classic ``client_id % num_servers`` would leak
+                # paging traffic onto other groups' servers).
+                paging_shard = (
+                    group * servers_per_group + client_id % servers_per_group
+                )
+            else:
+                client_placement = self.placement
+                paging_shard = None
             client = ClientKernel(
                 client_id, config, self.engine, self.servers, vm,
                 channel_rng=channel_rngs,
                 oracle=oracle,
-                placement=self.placement,
+                placement=client_placement,
                 ticker=self.shared_ticker(config.writeback_scan_interval),
                 replication=self.replication,
                 integrity=self.integrity,
+                paging_shard=paging_shard,
             )
             for server in self.servers:
                 server.register_client(client)
@@ -414,7 +448,15 @@ class Cluster:
             client.counters.ops_dropped_while_down += 1
             return
         wrote = state.wrote if state is not None else False
-        fsync = wrote and self.rng.bernoulli(self.config.fsync_probability)
+        threshold = self._fsync_threshold
+        if threshold is None:
+            fsync = wrote and self.rng.bernoulli(self.config.fsync_probability)
+        else:
+            # Grouped clusters: a pure per-open hash, so the decision is
+            # independent of which other groups' closes the replay saw.
+            fsync = wrote and (
+                _mix64(record.open_id ^ self._fsync_salt) < threshold
+            )
         client.close_file(now, record.file_id, wrote, fsync=fsync)
 
     def _dispatch_shared(self, record: TraceRecord, now: float) -> None:
@@ -534,6 +576,76 @@ class Cluster:
             records_replayed=self._records,
             per_server_counters=per_server,
         )
+
+
+def merge_cluster_results(
+    results: Sequence[ClusterResult],
+    owned_groups: Sequence[Sequence[int]],
+) -> ClusterResult:
+    """Merge shard replays of a grouped cluster into one result.
+
+    Each shard replayed the same full cluster (same config, same seed,
+    identical construction) but dispatched only its ``owned_groups``'
+    records; because groups share no servers, no RNG stream, and no
+    state, a shard's owned clients and servers end in exactly the state
+    the unpartitioned replay leaves them in.  The merge is therefore
+    pure selection: every client's counters/snapshots and every
+    server's row come from the shard that owns its group, the aggregate
+    is recomputed in server order (the same float-summation order the
+    unpartitioned replay uses), and record counts add up because every
+    record was dispatched by exactly one shard.
+    """
+    if not results or len(results) != len(owned_groups):
+        raise ConfigError(
+            f"need one owned-group list per result, got {len(results)} "
+            f"results and {len(owned_groups)} lists"
+        )
+    config = results[0].config
+    groups = config.client_groups
+    owner: dict[int, ClusterResult] = {}
+    for result, owned in zip(results, owned_groups):
+        if result.config != config:
+            raise ConfigError("shard results disagree on cluster config")
+        for group in owned:
+            if group in owner:
+                raise ConfigError(f"group {group} owned by two shards")
+            owner[group] = result
+    if sorted(owner) != list(range(groups)):
+        raise ConfigError(
+            f"owned groups {sorted(owner)} do not cover 0..{groups - 1}"
+        )
+    clients_per_group = config.client_count // groups
+    servers_per_group = config.num_servers // groups
+    snapshots: dict[int, list[CounterSnapshot]] = {}
+    final_counters: dict[int, ClientCounters] = {}
+    for group in range(groups):
+        result = owner[group]
+        for client_id in range(
+            group * clients_per_group, (group + 1) * clients_per_group
+        ):
+            snapshots[client_id] = result.snapshots[client_id]
+            final_counters[client_id] = result.final_counters[client_id]
+    per_server: list[ServerCounters] = []
+    for group in range(groups):
+        result = owner[group]
+        per_server.extend(
+            result.per_server_counters[
+                group * servers_per_group:(group + 1) * servers_per_group
+            ]
+        )
+    if len(per_server) == 1:
+        aggregate = per_server[0].copy()
+    else:
+        aggregate = ServerCounters.aggregate(per_server)
+    return ClusterResult(
+        config=config,
+        duration=results[0].duration,
+        snapshots=snapshots,
+        final_counters=final_counters,
+        server_counters=aggregate,
+        records_replayed=sum(r.records_replayed for r in results),
+        per_server_counters=tuple(per_server),
+    )
 
 
 def run_cluster_on_trace(

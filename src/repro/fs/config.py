@@ -82,6 +82,19 @@ class ClusterConfig:
     #: Counter snapshots are taken at this period (seconds).
     snapshot_interval: float = 300.0
 
+    #: Independent client groups for scale-out (partitioned) replay.
+    #: 1 (the default) is the classic fully-shared cluster,
+    #: byte-identical to builds that predate grouping.  With G > 1 the
+    #: clients are divided into G contiguous equal blocks and the
+    #: servers into G contiguous equal slices; each group's clients
+    #: route every operation into their own slice, file ids are
+    #: group-strided (``file_id % G`` names the owning group), and the
+    #: per-close fsync decision becomes a pure hash of the open id so
+    #: no cross-group RNG sequencing exists.  Groups therefore evolve
+    #: independently, which is what lets a replay be partitioned across
+    #: workers and merged byte-identically (repro.pipeline.scaleout).
+    client_groups: int = 1
+
     #: Paging model: target paging bytes as a fraction of file bytes
     #: (the paper measured paging at roughly 35% of all traffic).
     paging_intensity: float = 1.0
@@ -134,6 +147,35 @@ class ClusterConfig:
             raise ConfigError(
                 f"faults must be a FaultConfig, got {type(self.faults).__name__}"
             )
+        if self.client_groups < 1:
+            raise ConfigError(
+                f"client_groups must be >= 1, got {self.client_groups}"
+            )
+        if self.client_groups > 1:
+            if self.client_count % self.client_groups:
+                raise ConfigError(
+                    f"client_groups={self.client_groups} must evenly divide "
+                    f"client_count={self.client_count}"
+                )
+            if self.num_servers % self.client_groups:
+                raise ConfigError(
+                    f"client_groups={self.client_groups} must evenly divide "
+                    f"num_servers={self.num_servers}"
+                )
+            if self.replication_factor > 1:
+                raise ConfigError(
+                    "client_groups > 1 does not support replication "
+                    "(groups own disjoint server slices)"
+                )
+            if self.faults.any_faults or self.faults.any_disk_faults:
+                raise ConfigError(
+                    "client_groups > 1 does not support fault injection "
+                    "(fault schedules couple groups)"
+                )
+            if self.scrub_interval > 0:
+                raise ConfigError(
+                    "client_groups > 1 does not support scrubbing"
+                )
 
     @property
     def client_page_count(self) -> int:

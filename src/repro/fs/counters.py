@@ -29,6 +29,7 @@ that iterates counter names.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -86,6 +87,16 @@ class _ArrayCounters:
         total = object.__new__(cls)
         total._values = values
         return total
+
+    def digest(self) -> str:
+        """A stable hex digest of the exact counter values: SHA-256 of
+        the ``repr`` of :meth:`as_row` (``repr`` distinguishes ``1``
+        from ``1.0``, so this pins byte-exact state, not just numeric
+        equality).  The partitioned-replay identity checks compare
+        shard-merged replays to unpartitioned ones through these."""
+        return hashlib.sha256(
+            repr(tuple(self._values)).encode("ascii")
+        ).hexdigest()
 
     def __eq__(self, other) -> bool:
         if type(other) is not type(self):

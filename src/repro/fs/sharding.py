@@ -84,5 +84,66 @@ class Placement:
             chosen.append(remaining.pop(h % len(remaining)))
         return tuple(chosen)
 
+    def group_view(self, group: int, groups: int) -> "GroupPlacement":
+        """A placement view confined to one client group's server slice.
+
+        Partitioned replay divides ``num_servers`` into ``groups``
+        contiguous equal slices; a group's clients route *every* file
+        -- group files, shared binaries, directory sentinels -- into
+        their own slice, so no server ever sees traffic from two
+        groups.  That per-group confinement is what makes shard replays
+        byte-identical to the unpartitioned replay: a server's state
+        evolves from exactly one group's operations either way.
+        """
+        if groups < 1 or self.num_servers % groups != 0:
+            raise ConfigError(
+                f"{groups} groups must evenly divide "
+                f"{self.num_servers} servers"
+            )
+        if not 0 <= group < groups:
+            raise ConfigError(f"group {group} out of range for {groups}")
+        return GroupPlacement(self, group, groups)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Placement(num_servers={self.num_servers}, seed={self.seed})"
+
+
+class GroupPlacement:
+    """One group's window onto a :class:`Placement`.
+
+    ``shard_of`` hashes within the group's slice (``slice_start ..
+    slice_start + slice_size - 1``); negative file ids land on the
+    slice's first server (the group-local analogue of the classic
+    "sentinels go to server 0").  Replication is not supported in
+    grouped clusters, so ``replicas_of`` refuses.
+    """
+
+    __slots__ = ("base", "group", "groups", "num_servers", "_start", "_size", "_salt")
+
+    def __init__(self, base: Placement, group: int, groups: int) -> None:
+        self.base = base
+        self.group = group
+        self.groups = groups
+        self.num_servers = base.num_servers
+        self._size = base.num_servers // groups
+        self._start = group * self._size
+        self._salt = base._salt
+
+    def shard_of(self, file_id: int) -> int:
+        if self._size == 1 or file_id < 0:
+            return self._start
+        return self._start + _mix64(file_id ^ self._salt) % self._size
+
+    __call__ = shard_of
+
+    def replicas_of(self, file_id: int, r: int) -> tuple[int, ...]:
+        raise ConfigError(
+            "replication is not supported in a grouped cluster "
+            "(client_groups > 1 requires replication_factor == 1)"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GroupPlacement(group={self.group}/{self.groups}, "
+            f"servers=[{self._start}..{self._start + self._size - 1}])"
+        )

@@ -28,6 +28,11 @@ Payloads are tagged by their first byte:
   counter snapshots, pickled config).
 * ``O`` -- a :class:`~repro.obs.sampler.CounterTimeseries` (per-machine
   sample tables, pure marshal -- no pickle at all).
+* ``C`` -- a columnar-only :class:`~repro.workload.SyntheticTrace`
+  (``materialize=False`` scale-out generation): the
+  :class:`~repro.trace.columnar.ColumnarTrace` payload marshal-packed,
+  profile/users/validation pickled.  Decoding never materializes a
+  record list.
 * ``P`` -- anything else, plain pickle.
 """
 
@@ -55,6 +60,7 @@ _TAG_ACCESSES = b"A"
 _TAG_ACCESSES_INDEXED = b"I"
 _TAG_REPLAY = b"R"
 _TAG_OBS = b"O"
+_TAG_COLUMNAR_TRACE = b"C"
 
 #: marshal format version (stable, supported by every CPython we target).
 _MARSHAL_VERSION = 2
@@ -268,6 +274,39 @@ def _decode_trace(body: bytes) -> SyntheticTrace:
     )
 
 
+def _encode_columnar_trace(trace: SyntheticTrace) -> bytes:
+    assert trace.columnar is not None
+    body = pickle.dumps(
+        {
+            "columnar": marshal.dumps(
+                trace.columnar.to_payload(), _MARSHAL_VERSION
+            ),
+            "profile": trace.profile,
+            "seed": trace.seed,
+            "scale": trace.scale,
+            "users": trace.users,
+            "validation": trace.validation,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    return _TAG_COLUMNAR_TRACE + body
+
+
+def _decode_columnar_trace(body: bytes) -> SyntheticTrace:
+    from repro.trace.columnar import ColumnarTrace
+
+    state = pickle.loads(body)
+    return SyntheticTrace(
+        profile=state["profile"],
+        seed=state["seed"],
+        scale=state["scale"],
+        records=[],
+        users=state["users"],
+        validation=state["validation"],
+        columnar=ColumnarTrace.from_payload(marshal.loads(state["columnar"])),
+    )
+
+
 # --------------------------------------------------------------------------
 # accesses
 # --------------------------------------------------------------------------
@@ -464,6 +503,8 @@ def encode_artifact(artifact: Any, context: dict[str, Any] | None = None) -> byt
     letting access lists pack as record *indexes* rather than copies.
     """
     if isinstance(artifact, SyntheticTrace):
+        if not artifact.records and artifact.columnar is not None:
+            return _encode_columnar_trace(artifact)
         return _encode_trace(artifact)
     if isinstance(artifact, ClusterResult):
         return _encode_replay(artifact)
@@ -494,6 +535,8 @@ def decode_artifact(payload: bytes, context: dict[str, Any] | None = None) -> An
     tag, body = payload[:1], payload[1:]
     if tag == _TAG_TRACE:
         return _decode_trace(body)
+    if tag == _TAG_COLUMNAR_TRACE:
+        return _decode_columnar_trace(body)
     if tag == _TAG_REPLAY:
         return _decode_replay(body)
     if tag == _TAG_ACCESSES_INDEXED:

@@ -37,7 +37,16 @@ def resolve_workers(workers: int | None) -> int:
 
 @dataclass
 class StageTiming:
-    """One stage's entry in the pipeline report."""
+    """One stage's entry in the pipeline report.
+
+    ``workers`` is what the caller *asked for* (after
+    :func:`resolve_workers`); ``workers_effective`` is what actually
+    ran -- 0 for an all-hit stage (nothing executed), 1 when the misses
+    ran serially (including the one-miss fallback of a pool request),
+    and the pool size otherwise.  The old single field conflated the
+    two: a ``workers=8`` stage with one miss reported ``1`` as if the
+    caller had asked for serial.
+    """
 
     stage: str
     seconds: float
@@ -45,6 +54,7 @@ class StageTiming:
     tasks: int
     cache_hits: int
     cache_misses: int
+    workers_effective: int = 0
 
 
 @dataclass
@@ -103,7 +113,8 @@ def run_stage(
                 continue
         misses.append(index)
 
-    pool_size = min(resolve_workers(workers), len(misses))
+    requested = resolve_workers(workers)
+    pool_size = min(requested, len(misses))
     if misses:
         if pool_size <= 1:
             pool_size = 1
@@ -126,10 +137,11 @@ def run_stage(
             StageTiming(
                 stage=stage,
                 seconds=perf_counter() - start,
-                workers=pool_size if misses else 0,
+                workers=requested,
                 tasks=len(tasks),
                 cache_hits=hits,
                 cache_misses=len(misses),
+                workers_effective=pool_size if misses else 0,
             )
         )
     return results

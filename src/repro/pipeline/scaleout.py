@@ -1,0 +1,415 @@
+"""Scale-out replay: partitioned trace generation and sharded replay.
+
+The classic pipeline generates one trace and replays it in one process;
+at ``scale >= 10`` (hundreds of clients, tens of millions of records)
+that is hours of wall clock and many gigabytes of records.  This module
+makes big scales practical by making the *population* partitionable:
+
+* the user population is built as ``groups`` independent blocks, each
+  generated at ``scale / groups`` from its own seed -- generation
+  parallelizes perfectly and no process ever holds more than one
+  group's trace;
+* each group's ids are strided into a disjoint residue class
+  (``file_id % groups`` names the owning group) and its clients are
+  shifted to a contiguous block, so the merged population looks exactly
+  like one big cluster whose users happen not to share files across
+  groups;
+* the replay cluster is built with ``ClusterConfig.client_groups``, so
+  every client routes into its group's private server slice and the
+  per-close fsync decision is a pure hash -- groups share *nothing*;
+* replay then shards by group: each shard task replays only its groups'
+  records against a full (identically-constructed) cluster, and
+  :func:`repro.fs.cluster.merge_cluster_results` selects every
+  machine's state from the shard that owns it.  The merged result is
+  byte-identical to replaying the whole merged trace in one process
+  (``tests/test_partitioned_replay.py`` pins this).
+
+The determinism argument, in one line per layer: group traces are pure
+functions of ``(profile, group seed, group scale)``; the merged record
+order is a strict total order (time, group rank, within-trace order),
+so a shard's dispatch order is the unpartitioned order restricted to
+its groups; grouped clusters give a group's operations no way to
+observe another group (disjoint servers, disjoint ids, no shared RNG);
+therefore each machine's end state is a pure function of its own
+group's records, which every shard computes identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.common.errors import ConfigError
+from repro.fs.cluster import Cluster, ClusterResult, merge_cluster_results
+from repro.fs.config import ClusterConfig
+from repro.fs.paging import EXECUTABLE_FILE_ID_BASE
+from repro.pipeline.runner import PipelineReport, run_stage
+from repro.trace.columnar import ColumnarTrace
+from repro.workload.generator import SyntheticTrace, generate_trace
+from repro.workload.profiles import TraceProfile
+
+#: Seed stride between groups.  Any constant works (each group is an
+#: independent population); a prime keeps group seeds from colliding
+#: with the registry's ``seed + 101 * offset`` replay-seed scheme.
+GROUP_SEED_STRIDE = 7919
+
+
+@dataclass(frozen=True)
+class ScaleOutPlan:
+    """Everything that addresses one partitioned generate+replay run.
+
+    The plan is the cache key: group traces and shard replays are pure
+    functions of these fields, so two runs of the same plan -- serial
+    or parallel, partitioned or not -- produce identical artifacts.
+    """
+
+    profile: TraceProfile
+    seed: int = 1991
+    scale: float = 1.0
+    #: Independent population blocks; also ``ClusterConfig.client_groups``.
+    groups: int = 4
+    #: Server slice width per group (the merged cluster has
+    #: ``groups * servers_per_group`` servers).
+    servers_per_group: int = 1
+    replay_seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.groups < 1:
+            raise ConfigError(f"need at least one group, got {self.groups}")
+        if self.servers_per_group < 1:
+            raise ConfigError(
+                f"need at least one server per group, got "
+                f"{self.servers_per_group}"
+            )
+        if self.scale <= 0:
+            raise ConfigError(f"scale must be positive, got {self.scale}")
+
+    @property
+    def group_scale(self) -> float:
+        return self.scale / self.groups
+
+    @property
+    def clients_per_group(self) -> int:
+        """Mirrors the registry's ``max(4, round(40 * scale))`` client
+        scaling, applied per group at the group's scale."""
+        return max(4, round(40 * self.group_scale))
+
+    @property
+    def client_count(self) -> int:
+        return self.groups * self.clients_per_group
+
+    @property
+    def num_servers(self) -> int:
+        return self.groups * self.servers_per_group
+
+    def group_seed(self, group: int) -> int:
+        return self.seed + GROUP_SEED_STRIDE * group
+
+    def cluster_config(self) -> ClusterConfig:
+        return ClusterConfig(
+            client_count=self.client_count,
+            num_servers=self.num_servers,
+            client_groups=self.groups,
+        )
+
+    def key_fields(self) -> dict[str, Any]:
+        return {
+            "kind": "scale-out-plan",
+            "profile": self.profile,
+            "seed": self.seed,
+            "scale": self.scale,
+            "groups": self.groups,
+            "servers_per_group": self.servers_per_group,
+            "replay_seed": self.replay_seed,
+        }
+
+
+def shard_partition(groups: int, shards: int) -> list[list[int]]:
+    """Contiguous near-equal split of group indices across shards."""
+    if not 1 <= shards <= groups:
+        raise ConfigError(
+            f"shards must be in [1, groups={groups}], got {shards}"
+        )
+    base, extra = divmod(groups, shards)
+    out: list[list[int]] = []
+    start = 0
+    for shard in range(shards):
+        size = base + (1 if shard < extra else 0)
+        out.append(list(range(start, start + size)))
+        start += size
+    return out
+
+
+def check_id_space(columnar: ColumnarTrace, group: int) -> None:
+    """Refuse remapped traces whose strided file ids reach the paging
+    binaries' reserved range (they share the servers' block space)."""
+    largest = columnar.max_file_id()
+    if largest >= EXECUTABLE_FILE_ID_BASE:
+        raise ConfigError(
+            f"group {group}: remapped file id {largest} collides with "
+            f"the executable id space (>= {EXECUTABLE_FILE_ID_BASE}); "
+            f"lower scale or groups"
+        )
+
+
+# --------------------------------------------------------------------------
+# pipeline tasks
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class GroupTraceTask:
+    """Generate one group's trace (columnar, never materialized) and
+    relabel it into the merged cluster's id space."""
+
+    profile: TraceProfile
+    seed: int
+    scale: float
+    client_count: int
+    group: int
+    groups: int
+
+    def key_fields(self) -> dict[str, Any]:
+        return {
+            "kind": "group-trace",
+            "profile": self.profile,
+            "seed": self.seed,
+            "scale": self.scale,
+            "client_count": self.client_count,
+            "group": self.group,
+            "groups": self.groups,
+        }
+
+    def run(self) -> SyntheticTrace:
+        trace = generate_trace(
+            self.profile,
+            seed=self.seed,
+            scale=self.scale,
+            client_count=self.client_count,
+            materialize=False,
+        )
+        assert trace.columnar is not None
+        remapped = trace.columnar.remap_group(
+            self.group, self.groups, client_base=self.group * self.client_count
+        )
+        check_id_space(remapped, self.group)
+        trace.columnar = remapped
+        return trace
+
+    def codec_context(self) -> dict[str, Any] | None:
+        return None
+
+
+@dataclass
+class ShardReplayTask:
+    """Replay one shard's groups against a full grouped cluster.
+
+    The task carries only its own groups' columnar traces; the replay
+    streams records chunk-at-a-time (:meth:`ColumnarTrace.iter_records`),
+    so peak memory is bounded by the columns plus one chunk, never a
+    whole day's record list.
+    """
+
+    plan_fields: dict[str, Any]
+    group_traces: list[tuple[int, ColumnarTrace]]
+    config: ClusterConfig
+    duration: float
+    seed: int
+    chunk_size: int = ColumnarTrace.DEFAULT_CHUNK
+
+    def key_fields(self) -> dict[str, Any]:
+        return {
+            "kind": "shard-replay",
+            "plan": self.plan_fields,
+            "groups": tuple(group for group, _ in self.group_traces),
+            "config": self.config,
+            "duration": self.duration,
+            "seed": self.seed,
+        }
+
+    def run(self) -> ClusterResult:
+        merged = ColumnarTrace.merge(
+            [trace for _, trace in self.group_traces],
+            ranks=[group for group, _ in self.group_traces],
+        )
+        cluster = Cluster(self.config, seed=self.seed)
+        result = cluster.replay(
+            merged.iter_records(self.chunk_size), self.duration
+        )
+        return self._slim(result)
+
+    def _slim(self, result: ClusterResult) -> ClusterResult:
+        """Drop foreign clients' counters and snapshots from the shard
+        result.  The merge only ever selects the owned groups' clients,
+        and a full day of per-client snapshots for every *foreign*
+        (idle) client dominates shard-result memory at large scale."""
+        clients_per_group = (
+            self.config.client_count // self.config.client_groups
+        )
+        owned_clients: list[int] = []
+        for group, _ in self.group_traces:
+            owned_clients.extend(
+                range(
+                    group * clients_per_group, (group + 1) * clients_per_group
+                )
+            )
+        return ClusterResult(
+            config=result.config,
+            duration=result.duration,
+            snapshots={c: result.snapshots[c] for c in owned_clients},
+            final_counters={
+                c: result.final_counters[c] for c in owned_clients
+            },
+            server_counters=result.server_counters,
+            records_replayed=result.records_replayed,
+            per_server_counters=result.per_server_counters,
+        )
+
+    def codec_context(self) -> dict[str, Any] | None:
+        return None
+
+
+# --------------------------------------------------------------------------
+# the scale-out stages
+# --------------------------------------------------------------------------
+
+
+def build_group_traces(
+    plan: ScaleOutPlan,
+    *,
+    workers: int | None = 1,
+    cache=None,
+    report: PipelineReport | None = None,
+) -> list[SyntheticTrace]:
+    """Generate (or load) every group's remapped columnar trace."""
+    tasks = [
+        GroupTraceTask(
+            profile=plan.profile,
+            seed=plan.group_seed(group),
+            scale=plan.group_scale,
+            client_count=plan.clients_per_group,
+            group=group,
+            groups=plan.groups,
+        )
+        for group in range(plan.groups)
+    ]
+    return run_stage(
+        "group-traces", tasks, workers=workers, cache=cache, report=report
+    )
+
+
+def merged_trace(traces: Sequence[SyntheticTrace]) -> ColumnarTrace:
+    """All groups merged into the one big sorted trace (rank = group)."""
+    return ColumnarTrace.merge([trace.columnar for trace in traces])
+
+
+def run_partitioned_replay(
+    plan: ScaleOutPlan,
+    traces: Sequence[SyntheticTrace] | None = None,
+    *,
+    shards: int | None = None,
+    workers: int | None = 1,
+    cache=None,
+    report: PipelineReport | None = None,
+) -> ClusterResult:
+    """The scale-out replay: shard by group, replay, merge.
+
+    ``shards`` defaults to one per group (maximum parallelism); any
+    value in ``[1, groups]`` yields the identical merged result.
+    """
+    if traces is None:
+        traces = build_group_traces(
+            plan, workers=workers, cache=cache, report=report
+        )
+    if shards is None:
+        shards = plan.groups
+    owned = shard_partition(plan.groups, shards)
+    config = plan.cluster_config()
+    duration = traces[0].duration
+    plan_fields = plan.key_fields()
+    tasks = [
+        ShardReplayTask(
+            plan_fields=plan_fields,
+            group_traces=[(group, traces[group].columnar) for group in groups],
+            config=config,
+            duration=duration,
+            seed=plan.replay_seed,
+        )
+        for groups in owned
+    ]
+    results = run_stage(
+        "shard-replays", tasks, workers=workers, cache=cache, report=report
+    )
+    return merge_cluster_results(results, owned)
+
+
+def run_unpartitioned_replay(
+    plan: ScaleOutPlan,
+    traces: Sequence[SyntheticTrace] | None = None,
+    *,
+    oracle=None,
+    obs=None,
+) -> ClusterResult:
+    """Replay the whole merged trace in one cluster -- the reference
+    the partitioned replay is pinned against (and the path the
+    identity tests and the ``scale_out`` experiment run)."""
+    if traces is None:
+        traces = build_group_traces(plan)
+    merged = merged_trace(traces)
+    cluster = Cluster(
+        plan.cluster_config(), seed=plan.replay_seed, oracle=oracle, obs=obs
+    )
+    return cluster.replay(merged.iter_records(), traces[0].duration)
+
+
+# --------------------------------------------------------------------------
+# cross-shard merge of the observability layers
+# --------------------------------------------------------------------------
+
+
+def merge_obs_timeseries(
+    series: Sequence, owned_groups: Sequence[Sequence[int]], plan: ScaleOutPlan
+):
+    """Merge per-shard obs timeseries by machine ownership.
+
+    Each shard's sampler saw the full cluster, but only its own groups'
+    machines did anything; the merged series takes every machine from
+    the shard owning its group, in machine order -- exactly the series
+    an unpartitioned observed replay produces.
+    """
+    from repro.obs.sampler import CounterTimeseries
+
+    owner: dict[int, Any] = {}
+    for ts, groups in zip(series, owned_groups):
+        for group in groups:
+            owner[group] = ts
+    clients_per_group = plan.clients_per_group
+    servers_per_group = plan.servers_per_group
+    merged = CounterTimeseries(series[0].sample_interval)
+    for name in sorted(series[0].machines):
+        if name.startswith("client-"):
+            group = int(name.split("-")[1]) // clients_per_group
+        elif name.startswith("server-"):
+            group = int(name.split("-")[1]) // servers_per_group
+        else:  # a lone "server" only exists in ungrouped clusters
+            group = 0
+        merged.machines[name] = owner[group].machines[name]
+    return merged
+
+
+def merge_oracle_versions(
+    oracles: Sequence, owned_groups: Sequence[Sequence[int]], groups: int
+) -> dict[int, int]:
+    """Merge per-shard oracle version maps by file-id residue class.
+
+    A shard's oracle only ever observes its own groups' file ids
+    (``file_id % groups`` names the owner), so the merged map is a
+    disjoint union -- equal to the unpartitioned oracle's map.
+    """
+    merged: dict[int, int] = {}
+    for oracle, owned in zip(oracles, owned_groups):
+        owned_set = set(owned)
+        for file_id, version in oracle._versions.items():
+            if file_id % groups in owned_set or file_id < 0:
+                merged[file_id] = version
+    return merged

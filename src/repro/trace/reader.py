@@ -60,7 +60,52 @@ class TraceReader:
             yield TraceRecord.from_dict(data)
 
 
-def read_trace(path: str | os.PathLike[str]) -> Iterator[TraceRecord]:
-    """Yield every record in the trace file at ``path``."""
-    with TraceReader(path) as reader:
-        yield from reader
+class RecordStream:
+    """Iterator over a trace file that keeps its progress observable.
+
+    The old ``read_trace`` built its :class:`TraceReader` inside a
+    generator, so ``records_read`` was unreachable from outside --
+    streaming replays could not report progress.  This wrapper *is* the
+    iterator (drop-in for the generator) while exposing the live count;
+    the file closes at exhaustion, on :meth:`close`, or when used as a
+    context manager.
+    """
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self._reader = TraceReader(path)
+        self._reader.open()
+        self._iterator: Iterator[TraceRecord] = iter(self._reader)
+
+    @property
+    def path(self) -> str:
+        return self._reader.path
+
+    @property
+    def records_read(self) -> int:
+        """Records yielded so far (the full count once exhausted)."""
+        return self._reader.records_read
+
+    def close(self) -> None:
+        self._reader.close()
+
+    def __enter__(self) -> "RecordStream":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __iter__(self) -> "RecordStream":
+        return self
+
+    def __next__(self) -> TraceRecord:
+        try:
+            return next(self._iterator)
+        except StopIteration:
+            self.close()
+            raise
+
+
+def read_trace(path: str | os.PathLike[str]) -> RecordStream:
+    """Every record in the trace file at ``path``, as a
+    :class:`RecordStream` whose ``records_read`` is live."""
+    return RecordStream(path)

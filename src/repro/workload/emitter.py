@@ -10,9 +10,11 @@ away from the previous position, close totals that match the runs).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
 
 from repro.common.errors import TraceError
 from repro.common.ids import ClientId, IdAllocator, UserId
+from repro.trace.columnar import ColumnarTraceBuilder
 from repro.trace.records import (
     AccessMode,
     CloseRecord,
@@ -62,18 +64,19 @@ class OpenEpisode:
         """Emit a reposition when a run starts away from the current
         position (the paper's traces logged exactly these lseeks)."""
         if offset != self.position:
-            self.emitter._emit(
-                RepositionRecord(
-                    time=time,
-                    server_id=int(self.file.server_id),
-                    open_id=self.open_id,
-                    file_id=int(self.file.file_id),
-                    user_id=int(self.user_id),
-                    client_id=int(self.client_id),
-                    offset_before=self.position,
-                    offset_after=offset,
-                    migrated=self.migrated,
-                )
+            self.emitter._emit_row(
+                RepositionRecord,
+                (
+                    time,
+                    int(self.file.server_id),
+                    self.open_id,
+                    int(self.file.file_id),
+                    int(self.user_id),
+                    int(self.client_id),
+                    self.position,
+                    offset,
+                    self.migrated,
+                ),
             )
             self.position = offset
 
@@ -83,18 +86,19 @@ class OpenEpisode:
         if length <= 0:
             raise TraceError(f"read run needs positive length, got {length}")
         self._seek_if_needed(self.last_time or self.opened_at, offset)
-        self.emitter._emit(
-            ReadRunRecord(
-                time=end_time,
-                server_id=int(self.file.server_id),
-                open_id=self.open_id,
-                file_id=int(self.file.file_id),
-                user_id=int(self.user_id),
-                client_id=int(self.client_id),
-                offset=offset,
-                length=length,
-                migrated=self.migrated,
-            )
+        self.emitter._emit_row(
+            ReadRunRecord,
+            (
+                end_time,
+                int(self.file.server_id),
+                self.open_id,
+                int(self.file.file_id),
+                int(self.user_id),
+                int(self.client_id),
+                offset,
+                length,
+                self.migrated,
+            ),
         )
         self.position = offset + length
         self.bytes_read += length
@@ -106,18 +110,19 @@ class OpenEpisode:
         if length <= 0:
             raise TraceError(f"write run needs positive length, got {length}")
         self._seek_if_needed(self.last_time or self.opened_at, offset)
-        self.emitter._emit(
-            WriteRunRecord(
-                time=end_time,
-                server_id=int(self.file.server_id),
-                open_id=self.open_id,
-                file_id=int(self.file.file_id),
-                user_id=int(self.user_id),
-                client_id=int(self.client_id),
-                offset=offset,
-                length=length,
-                migrated=self.migrated,
-            )
+        self.emitter._emit_row(
+            WriteRunRecord,
+            (
+                end_time,
+                int(self.file.server_id),
+                self.open_id,
+                int(self.file.file_id),
+                int(self.user_id),
+                int(self.client_id),
+                offset,
+                length,
+                self.migrated,
+            ),
         )
         self.file.record_write(end_time, offset, length, int(self.client_id))
         self.position = offset + length
@@ -135,17 +140,18 @@ class OpenEpisode:
         """
         self._check_open(time)
         cls = SharedWriteRecord if is_write else SharedReadRecord
-        self.emitter._emit(
-            cls(
-                time=time,
-                server_id=int(self.file.server_id),
-                file_id=int(self.file.file_id),
-                user_id=int(self.user_id),
-                client_id=int(self.client_id),
-                offset=offset,
-                length=length,
-                migrated=self.migrated,
-            )
+        self.emitter._emit_row(
+            cls,
+            (
+                time,
+                int(self.file.server_id),
+                int(self.file.file_id),
+                int(self.user_id),
+                int(self.client_id),
+                offset,
+                length,
+                self.migrated,
+            ),
         )
         self.last_time = time
 
@@ -153,38 +159,56 @@ class OpenEpisode:
         """End the episode."""
         self._check_open(time)
         self.closed = True
-        self.emitter._emit(
-            CloseRecord(
-                time=time,
-                server_id=int(self.file.server_id),
-                open_id=self.open_id,
-                file_id=int(self.file.file_id),
-                user_id=int(self.user_id),
-                client_id=int(self.client_id),
-                size_at_close=self.file.size,
-                bytes_read=self.bytes_read,
-                bytes_written=self.bytes_written,
-                migrated=self.migrated,
-            )
+        self.emitter._emit_row(
+            CloseRecord,
+            (
+                time,
+                int(self.file.server_id),
+                self.open_id,
+                int(self.file.file_id),
+                int(self.user_id),
+                int(self.client_id),
+                self.file.size,
+                self.bytes_read,
+                self.bytes_written,
+                self.migrated,
+            ),
         )
         self.emitter._episode_closed(self)
 
 
 class RecordEmitter:
-    """Produces trace records into an in-memory sink.
+    """Produces trace records into an in-memory columnar sink.
 
-    The sink is an unsorted list; the generator sorts once at the end
-    (records are produced per-application, interleaved across users).
+    Emission appends plain value rows (dataclass field order) to a
+    :class:`~repro.trace.columnar.ColumnarTraceBuilder` -- no record
+    objects are constructed on the hot path.  The generator seals the
+    sink into a sorted :class:`~repro.trace.columnar.ColumnarTrace`;
+    :attr:`records` materializes the classic emission-ordered list on
+    demand (tests and small callers).
     """
 
     def __init__(self, filespace: FileSpace) -> None:
         self.filespace = filespace
-        self.records: list[TraceRecord] = []
+        self.sink = ColumnarTraceBuilder()
         self._open_ids = IdAllocator(start=1)
         self._open_episodes: dict[int, OpenEpisode] = {}
 
+    @property
+    def records(self) -> list[TraceRecord]:
+        """The emitted records in emission order (materialized fresh on
+        every access -- cheap for tests, not for whole-day traces)."""
+        return self.sink.emission_order_records()
+
+    def _emit_row(self, cls: type[TraceRecord], row: tuple) -> None:
+        self.sink.append(cls, row)
+
     def _emit(self, record: TraceRecord) -> None:
-        self.records.append(record)
+        """Compatibility entry for callers holding a built record."""
+        self.sink.append(
+            type(record),
+            tuple(getattr(record, f.name) for f in dataclass_fields(record)),
+        )
 
     def _episode_closed(self, episode: OpenEpisode) -> None:
         self._open_episodes.pop(episode.open_id, None)
@@ -200,14 +224,15 @@ class RecordEmitter:
     ) -> FileState:
         """Create a file and emit the create record."""
         state = self.filespace.create(time, user_id, size=size)
-        self._emit(
-            CreateRecord(
-                time=time,
-                server_id=int(state.server_id),
-                file_id=int(state.file_id),
-                user_id=int(user_id),
-                client_id=int(client_id),
-            )
+        self._emit_row(
+            CreateRecord,
+            (
+                time,
+                int(state.server_id),
+                int(state.file_id),
+                int(user_id),
+                int(client_id),
+            ),
         )
         return state
 
@@ -247,19 +272,20 @@ class RecordEmitter:
             last_time=time,
         )
         self._open_episodes[episode.open_id] = episode
-        self._emit(
-            OpenRecord(
-                time=time,
-                server_id=int(file.server_id),
-                open_id=episode.open_id,
-                file_id=int(file.file_id),
-                user_id=int(user_id),
-                process_id=0,
-                client_id=int(client_id),
-                mode=mode,
-                size_at_open=size_at_open,
-                migrated=migrated,
-            )
+        self._emit_row(
+            OpenRecord,
+            (
+                time,
+                int(file.server_id),
+                episode.open_id,
+                int(file.file_id),
+                int(user_id),
+                0,
+                int(client_id),
+                mode,
+                size_at_open,
+                migrated,
+            ),
         )
         return episode
 
@@ -268,17 +294,18 @@ class RecordEmitter:
     ) -> None:
         """Delete a file, emitting its lifetime information."""
         state = self.filespace.delete(file.file_id)
-        self._emit(
-            DeleteRecord(
-                time=time,
-                server_id=int(state.server_id),
-                file_id=int(state.file_id),
-                user_id=int(user_id),
-                client_id=int(client_id),
-                size=state.size,
-                oldest_byte_time=state.oldest_byte_time,
-                newest_byte_time=state.newest_byte_time,
-            )
+        self._emit_row(
+            DeleteRecord,
+            (
+                time,
+                int(state.server_id),
+                int(state.file_id),
+                int(user_id),
+                int(client_id),
+                state.size,
+                state.oldest_byte_time,
+                state.newest_byte_time,
+            ),
         )
 
     def truncate_file(
@@ -287,17 +314,18 @@ class RecordEmitter:
         """Truncate a file to zero length (counted as a delete for
         lifetime purposes, per Section 4.3)."""
         state = self.filespace.get(file.file_id)
-        self._emit(
-            TruncateRecord(
-                time=time,
-                server_id=int(state.server_id),
-                file_id=int(state.file_id),
-                user_id=int(user_id),
-                client_id=int(client_id),
-                size=state.size,
-                oldest_byte_time=state.oldest_byte_time,
-                newest_byte_time=state.newest_byte_time,
-            )
+        self._emit_row(
+            TruncateRecord,
+            (
+                time,
+                int(state.server_id),
+                int(state.file_id),
+                int(user_id),
+                int(client_id),
+                state.size,
+                state.oldest_byte_time,
+                state.newest_byte_time,
+            ),
         )
         state.truncate(time)
 
@@ -307,13 +335,14 @@ class RecordEmitter:
         """A user-level directory read (always served by the server)."""
         if length <= 0:
             raise TraceError(f"directory read needs positive length, got {length}")
-        self._emit(
-            DirectoryReadRecord(
-                time=time,
-                server_id=0,
-                file_id=-1,
-                user_id=int(user_id),
-                client_id=int(client_id),
-                length=length,
-            )
+        self._emit_row(
+            DirectoryReadRecord,
+            (
+                time,
+                0,
+                -1,
+                int(user_id),
+                int(client_id),
+                length,
+            ),
         )

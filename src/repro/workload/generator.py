@@ -12,11 +12,13 @@ stream.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.common.ids import ClientId
 from repro.common.rng import RngStream
 from repro.common.units import DEFAULT_CLIENT_COUNT, DEFAULT_SERVER_COUNT, MINUTE
+from repro.trace.columnar import ColumnarTrace
 from repro.trace.records import TraceRecord
 from repro.trace.validate import ValidationReport, validate_stream
 from repro.workload.apps import (
@@ -44,7 +46,15 @@ _DIURNAL_PEAK = 1.4
 
 @dataclass
 class SyntheticTrace:
-    """One generated 24-hour trace plus its provenance."""
+    """One generated 24-hour trace plus its provenance.
+
+    ``records`` is the classic materialized list every analysis
+    consumes.  ``columnar`` is the same stream in columnar form
+    (:class:`~repro.trace.columnar.ColumnarTrace`); when the trace was
+    generated with ``materialize=False`` only ``columnar`` is
+    populated and consumers stream records chunk-at-a-time via
+    :meth:`iter_records` without ever holding the full list.
+    """
 
     profile: TraceProfile
     seed: int
@@ -52,6 +62,9 @@ class SyntheticTrace:
     records: list[TraceRecord]
     users: list[UserProfile]
     validation: ValidationReport
+    #: Excluded from equality: the columnar form is a redundant view of
+    #: the same stream (cache round-trips may drop or rebuild it).
+    columnar: ColumnarTrace | None = field(default=None, compare=False)
 
     @property
     def name(self) -> str:
@@ -61,9 +74,27 @@ class SyntheticTrace:
     def duration(self) -> float:
         return self.profile.duration
 
+    @property
+    def record_count(self) -> int:
+        """Number of records without forcing materialization."""
+        if self.records:
+            return len(self.records)
+        if self.columnar is not None:
+            return len(self.columnar)
+        return 0
+
+    def iter_records(self) -> Iterator[TraceRecord]:
+        """The record stream, preferring the bounded-memory columnar
+        path when the materialized list is absent."""
+        if self.records:
+            return iter(self.records)
+        if self.columnar is not None:
+            return self.columnar.iter_records()
+        return iter(())
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"SyntheticTrace({self.name}, records={len(self.records)}, "
+            f"SyntheticTrace({self.name}, records={self.record_count}, "
             f"users={len(self.users)}, scale={self.scale})"
         )
 
@@ -130,12 +161,28 @@ class TraceGenerator:
 
     # --- session machinery --------------------------------------------------
 
+    #: Uniform draws fetched per rejection-sampling batch (8 candidate
+    #: time/acceptance pairs; ~71% of candidates accept, so one batch
+    #: almost always suffices).
+    _START_BATCH = 16
+
     def _sample_session_start(self, rng: RngStream) -> float:
-        """Rejection-sample a session start time from the diurnal curve."""
+        """Rejection-sample a session start time from the diurnal curve.
+
+        Draws are batched (:meth:`RngStream.randoms`) and consumed in
+        pairs, in order -- byte-identical to the one-at-a-time
+        ``uniform`` loop because ``uniform(0, x)`` is exactly
+        ``x * random()``; the batch's unused tail is never observed
+        (each session start owns a dedicated fork).
+        """
+        duration = self.profile.duration
+        weight = diurnal_weight
         while True:
-            t = rng.uniform(0.0, self.profile.duration)
-            if rng.uniform(0.0, _DIURNAL_PEAK) <= diurnal_weight(t):
-                return t
+            draws = rng.randoms(self._START_BATCH)
+            for i in range(0, self._START_BATCH, 2):
+                t = duration * draws[i]
+                if _DIURNAL_PEAK * draws[i + 1] <= weight(t):
+                    return t
 
     def _context_for(self, user: UserProfile, rng: RngStream) -> AppContext:
         files = self._user_files.get(int(user.user_id))
@@ -229,8 +276,14 @@ class TraceGenerator:
 
     # --- main entry -----------------------------------------------------------
 
-    def generate(self) -> SyntheticTrace:
-        """Play out the full day and return the sorted, validated trace."""
+    def generate(self, materialize: bool = True) -> SyntheticTrace:
+        """Play out the full day and return the sorted, validated trace.
+
+        With ``materialize=False`` the result carries only the columnar
+        form (``records`` stays empty): validation streams transient
+        chunks and no whole-day record list is ever built -- the mode
+        scale-out generation runs in.
+        """
         for user in self.users:
             user_rng = self.rng.fork(f"sessions-{user.user_id}")
             mean_sessions = user.sessions_per_day * self.profile.intensity
@@ -247,18 +300,21 @@ class TraceGenerator:
             for index, start in enumerate(starts):
                 self._run_session(user, start, user_rng.fork(f"run-{index}"))
 
-        records = [
-            r for r in self.emitter.records if 0.0 <= r.time < self.profile.duration
-        ]
-        records.sort(key=lambda record: record.time)
-        report = validate_stream(records, allow_open_at_end=True)
+        # Seal the columnar sink: drop out-of-window rows and argsort by
+        # time (stable, emission order breaking ties) -- the vectorized
+        # equivalent of the classic filter + list.sort.
+        columnar = self.emitter.sink.seal(duration=self.profile.duration)
+        report = validate_stream(
+            columnar.iter_records(), allow_open_at_end=True
+        )
         return SyntheticTrace(
             profile=self.profile,
             seed=self.seed,
             scale=1.0,
-            records=records,
+            records=columnar.materialize() if materialize else [],
             users=self.users,
             validation=report,
+            columnar=columnar,
         )
 
 
@@ -274,12 +330,13 @@ def generate_trace(
     seed: int = 1991,
     scale: float = 1.0,
     client_count: int = DEFAULT_CLIENT_COUNT,
+    materialize: bool = True,
 ) -> SyntheticTrace:
     """Generate one trace, optionally population-scaled."""
     effective = scaled_profile(profile, scale)
     trace = TraceGenerator(
         effective, seed=seed, client_count=client_count
-    ).generate()
+    ).generate(materialize=materialize)
     trace.scale = scale
     return trace
 

@@ -21,14 +21,16 @@ from repro.experiments.cli import build_parser, main
 
 
 class TestRegistry:
-    def test_all_twenty_experiments_registered(self):
+    def test_all_twentyone_experiments_registered(self):
         # 12 tables + 4 figures from the paper, plus the beyond-the-paper
-        # fault, lossy-network, replication, and integrity studies.
-        assert len(EXPERIMENT_IDS) == 20
+        # fault, lossy-network, replication, integrity, and scale-out
+        # studies.
+        assert len(EXPERIMENT_IDS) == 21
         assert "faults" in EXPERIMENT_IDS
         assert "rpc_loss" in EXPERIMENT_IDS
         assert "replication" in EXPERIMENT_IDS
         assert "integrity" in EXPERIMENT_IDS
+        assert "scale_out" in EXPERIMENT_IDS
         assert set(PAPER_EXPECTATIONS) == set(EXPERIMENT_IDS)
 
     def test_unknown_experiment_raises(self):

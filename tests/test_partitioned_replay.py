@@ -1,0 +1,236 @@
+"""Partitioned (scale-out) replay must be byte-identical to the
+unpartitioned replay of the same grouped population -- the property
+that makes sharding replays across workers trustworthy.  Identity here
+means SHA-256 digests of exact counter values: every client, every
+per-server row, the aggregate, and every snapshot.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.fs.cluster import Cluster, merge_cluster_results
+from repro.fs.config import ClusterConfig
+from repro.fs.faults import FaultConfig
+from repro.fs.oracle import ProtocolOracle
+from repro.fs.sharding import Placement
+from repro.obs.observer import Observation, ObsConfig
+from repro.pipeline.scaleout import (
+    GROUP_SEED_STRIDE,
+    ScaleOutPlan,
+    build_group_traces,
+    check_id_space,
+    merge_obs_timeseries,
+    merge_oracle_versions,
+    run_partitioned_replay,
+    run_unpartitioned_replay,
+    shard_partition,
+)
+from repro.trace.columnar import ColumnarTrace, ColumnarTraceBuilder
+from repro.trace.records import OpenRecord, AccessMode
+from repro.workload.profiles import STANDARD_PROFILES
+
+SCALE = 0.05
+GROUPS = 8
+
+
+def make_plan(seed: int) -> ScaleOutPlan:
+    return ScaleOutPlan(
+        profile=STANDARD_PROFILES[0], seed=seed, scale=SCALE, groups=GROUPS
+    )
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return make_plan(1991)
+
+
+@pytest.fixture(scope="module")
+def traces(plan):
+    return build_group_traces(plan)
+
+
+@pytest.fixture(scope="module")
+def reference(plan, traces):
+    return run_unpartitioned_replay(plan, traces)
+
+
+def assert_identical(part, ref):
+    assert part.records_replayed == ref.records_replayed
+    assert part.duration == ref.duration
+    assert sorted(part.final_counters) == sorted(ref.final_counters)
+    for client_id, counters in ref.final_counters.items():
+        assert part.final_counters[client_id].digest() == counters.digest()
+    assert len(part.per_server_counters) == len(ref.per_server_counters)
+    for mine, theirs in zip(part.per_server_counters, ref.per_server_counters):
+        assert mine.digest() == theirs.digest()
+    assert part.server_counters.digest() == ref.server_counters.digest()
+    for client_id, snaps in ref.snapshots.items():
+        mine = part.snapshots[client_id]
+        assert [s.time for s in mine] == [s.time for s in snaps]
+        assert [s.counters.digest() for s in mine] == [
+            s.counters.digest() for s in snaps
+        ]
+
+
+class TestIdentity:
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_sharded_replay_matches_unpartitioned(
+        self, plan, traces, reference, shards
+    ):
+        part = run_partitioned_replay(plan, traces, shards=shards)
+        assert_identical(part, reference)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", [2718, 31415])
+    def test_identity_across_seeds(self, seed):
+        other = make_plan(seed)
+        other_traces = build_group_traces(other)
+        ref = run_unpartitioned_replay(other, other_traces)
+        part = run_partitioned_replay(other, other_traces, shards=4)
+        assert_identical(part, ref)
+
+    def test_pool_matches_serial(self, plan, traces, reference):
+        part = run_partitioned_replay(plan, traces, shards=2, workers=2)
+        assert_identical(part, reference)
+
+
+class TestOracleAndObs:
+    def test_oracle_and_obs_merge_match(self, plan, traces):
+        owned = shard_partition(plan.groups, 2)
+        config = plan.cluster_config()
+        duration = traces[0].duration
+
+        ref_oracle = ProtocolOracle(seed=plan.replay_seed)
+        ref_obs = Observation(ObsConfig(sample_interval=600.0))
+        ref = run_unpartitioned_replay(
+            plan, traces, oracle=ref_oracle, obs=ref_obs
+        )
+
+        results, oracles, observations = [], [], []
+        for groups in owned:
+            oracle = ProtocolOracle(seed=plan.replay_seed)
+            obs = Observation(ObsConfig(sample_interval=600.0))
+            merged = ColumnarTrace.merge(
+                [traces[g].columnar for g in groups], ranks=groups
+            )
+            cluster = Cluster(
+                config, seed=plan.replay_seed, oracle=oracle, obs=obs
+            )
+            results.append(cluster.replay(merged.iter_records(), duration))
+            oracles.append(oracle)
+            observations.append(obs)
+
+        assert_identical(merge_cluster_results(results, owned), ref)
+
+        assert not ref_oracle.violations
+        assert not any(oracle.violations for oracle in oracles)
+        assert merge_oracle_versions(oracles, owned, plan.groups) == (
+            ref_oracle._versions
+        )
+
+        merged_ts = merge_obs_timeseries(
+            [obs.timeseries for obs in observations], owned, plan
+        )
+        assert sorted(merged_ts.machines) == sorted(
+            ref_obs.timeseries.machines
+        )
+        for name, series in ref_obs.timeseries.machines.items():
+            assert merged_ts.machines[name].times == series.times
+            assert merged_ts.machines[name].rows == series.rows
+
+
+class TestPlanAndPartition:
+    def test_plan_arithmetic(self, plan):
+        assert plan.group_scale == SCALE / GROUPS
+        assert plan.client_count == GROUPS * plan.clients_per_group
+        assert plan.num_servers == GROUPS
+        assert plan.group_seed(3) == plan.seed + 3 * GROUP_SEED_STRIDE
+        config = plan.cluster_config()
+        assert config.client_groups == GROUPS
+        assert config.client_count == plan.client_count
+
+    def test_plan_validation(self):
+        with pytest.raises(ConfigError):
+            ScaleOutPlan(profile=STANDARD_PROFILES[0], groups=0)
+        with pytest.raises(ConfigError):
+            ScaleOutPlan(profile=STANDARD_PROFILES[0], scale=0.0)
+        with pytest.raises(ConfigError):
+            ScaleOutPlan(profile=STANDARD_PROFILES[0], servers_per_group=0)
+
+    def test_shard_partition_covers_contiguously(self):
+        assert shard_partition(8, 3) == [[0, 1, 2], [3, 4, 5], [6, 7]]
+        assert shard_partition(4, 4) == [[0], [1], [2], [3]]
+        with pytest.raises(ConfigError):
+            shard_partition(4, 5)
+        with pytest.raises(ConfigError):
+            shard_partition(4, 0)
+
+    def test_id_space_guard(self):
+        from repro.fs.paging import EXECUTABLE_FILE_ID_BASE
+
+        builder = ColumnarTraceBuilder()
+        builder.append(
+            OpenRecord,
+            (
+                0.0, 0, 1, EXECUTABLE_FILE_ID_BASE // 2, 1, 0, 0,
+                AccessMode.READ, 0, False,
+            ),
+        )
+        remapped = builder.seal().remap_group(1, 4, 0)
+        with pytest.raises(ConfigError, match="executable id space"):
+            check_id_space(remapped, 1)
+
+
+class TestGroupedConfig:
+    def test_client_groups_must_divide_population(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(client_count=10, num_servers=4, client_groups=4)
+        with pytest.raises(ConfigError):
+            ClusterConfig(client_count=8, num_servers=3, client_groups=4)
+        with pytest.raises(ConfigError):
+            ClusterConfig(client_count=8, num_servers=4, client_groups=0)
+
+    def test_client_groups_forbid_coupling_features(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(
+                client_count=8, num_servers=4, client_groups=4,
+                replication_factor=2,
+            )
+        with pytest.raises(ConfigError):
+            ClusterConfig(
+                client_count=8, num_servers=4, client_groups=4,
+                scrub_interval=60.0,
+            )
+        with pytest.raises(ConfigError):
+            ClusterConfig(
+                client_count=8, num_servers=4, client_groups=4,
+                faults=FaultConfig(server_crash_rate=1.0),
+            )
+
+    def test_group_placement_confines_to_slice(self):
+        base = Placement(8, seed=3)
+        for group in range(4):
+            view = base.group_view(group, 4)
+            lo, hi = group * 2, group * 2 + 2
+            for file_id in range(200):
+                assert lo <= view.shard_of(file_id) < hi
+            assert view.shard_of(-1) == lo
+        with pytest.raises(ConfigError):
+            base.group_view(0, 3)  # 3 does not divide 8
+        with pytest.raises(ConfigError):
+            base.group_view(4, 4)
+        with pytest.raises(ConfigError):
+            base.group_view(0, 4).replicas_of(1, 2)
+
+
+class TestMergeValidation:
+    def test_merge_rejects_bad_coverage(self, plan, traces, reference):
+        part = run_partitioned_replay(plan, traces, shards=2)
+        owned = shard_partition(plan.groups, 2)
+        results = [part, part]
+        with pytest.raises(ConfigError):
+            merge_cluster_results(results, [owned[0], owned[0]])
+        with pytest.raises(ConfigError):
+            merge_cluster_results([part], [owned[0]])
+        with pytest.raises(ConfigError):
+            merge_cluster_results([], [])

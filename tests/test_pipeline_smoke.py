@@ -8,9 +8,15 @@ budget; the full-scale determinism crosscheck lives in
 from __future__ import annotations
 
 
+from dataclasses import dataclass
+
 import pytest
 
 from repro.experiments import ExperimentContext
+from repro.pipeline import (
+    PipelineReport,
+    run_stage,
+)
 from repro.pipeline import (
     ArtifactCache,
     build_traces,
@@ -158,3 +164,70 @@ def test_build_traces_matches_generate_standard_traces(tmp_path):
     built = build_traces(SCALE, 7, 4)
     reference = generate_standard_traces(scale=SCALE, seed=7, client_count=4)
     assert built == reference
+
+
+# Module-level so the pool branch of run_stage can pickle it.
+@dataclass
+class _SquareTask:
+    value: int
+
+    def key_fields(self):
+        return {"kind": "square-test", "value": self.value}
+
+    def run(self):
+        return {"square": self.value * self.value}
+
+    def codec_context(self):
+        return None
+
+
+class TestStageTimingWorkers:
+    """StageTiming must report requested vs effective workers -- the old
+    single field recorded the pool size, so a ``workers=8`` stage with
+    one miss looked like the caller asked for serial, and an all-hit
+    stage reported 0 workers requested."""
+
+    def test_pool_request_with_one_miss_reports_both(self, tmp_path):
+        cache = resolve_cache(tmp_path)
+        report = PipelineReport()
+        run_stage(
+            "one-miss", [_SquareTask(3)], workers=8, cache=cache, report=report
+        )
+        timing = report.stages[-1]
+        assert timing.workers == 8  # what the caller asked for
+        assert timing.workers_effective == 1  # serial fallback, one miss
+        assert (timing.cache_hits, timing.cache_misses) == (0, 1)
+
+    def test_all_hit_stage_keeps_requested_workers(self, tmp_path):
+        cache = resolve_cache(tmp_path)
+        tasks = [_SquareTask(3), _SquareTask(4)]
+        run_stage("warmup", tasks, workers=1, cache=cache)
+        report = PipelineReport()
+        results = run_stage(
+            "all-hit", tasks, workers=8, cache=cache, report=report
+        )
+        assert results == [{"square": 9}, {"square": 16}]
+        timing = report.stages[-1]
+        assert timing.workers == 8
+        assert timing.workers_effective == 0  # nothing actually ran
+        assert (timing.cache_hits, timing.cache_misses) == (2, 0)
+
+    def test_pool_size_is_capped_by_misses(self):
+        report = PipelineReport()
+        results = run_stage(
+            "pooled",
+            [_SquareTask(2), _SquareTask(5)],
+            workers=8,
+            report=report,
+        )
+        assert results == [{"square": 4}, {"square": 25}]
+        timing = report.stages[-1]
+        assert timing.workers == 8
+        assert timing.workers_effective == 2  # pool capped at the misses
+
+    def test_serial_request_stays_serial(self):
+        report = PipelineReport()
+        run_stage("serial", [_SquareTask(2), _SquareTask(5)], report=report)
+        timing = report.stages[-1]
+        assert timing.workers == 1
+        assert timing.workers_effective == 1

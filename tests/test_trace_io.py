@@ -83,6 +83,45 @@ class TestWriterReader:
             assert writer.records_written == 3
 
 
+class TestRecordStream:
+    """``read_trace`` returns a stream whose progress is observable --
+    the count streaming replays report while a trace drains."""
+
+    def test_records_read_is_live(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, make_episode())
+        stream = read_trace(path)
+        assert stream.records_read == 0
+        next(stream)
+        assert stream.records_read == 1
+        next(stream)
+        assert stream.records_read == 2
+        assert len(list(stream)) == 1
+        assert stream.records_read == 3
+
+    def test_exhaustion_closes_and_count_persists(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, make_episode())
+        stream = read_trace(path)
+        assert list(stream) == make_episode()
+        assert stream.records_read == 3
+        stream.close()  # idempotent after auto-close at exhaustion
+
+    def test_context_manager_closes_early(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, make_episode())
+        with read_trace(path) as stream:
+            next(stream)
+            assert stream.records_read == 1
+        assert stream.records_read == 1  # count survives the close
+
+    def test_path_property(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, make_episode())
+        with read_trace(path) as stream:
+            assert stream.path == str(path)
+
+
 class TestMerge:
     def test_merges_in_time_order(self):
         a = make_episode(open_id=1, t0=0.0)
