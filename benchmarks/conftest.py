@@ -96,11 +96,18 @@ def _git_commit() -> str | None:
 
 
 def _tree_is_dirty() -> bool:
-    """True when the working tree differs from HEAD (untracked files
-    don't count -- they can't make the stamped commit a lie about the
-    measured code)."""
+    """True when the working tree differs from HEAD in a way that could
+    make the stamped commit a lie about the *measured code*.  Untracked
+    files and the bench reports themselves don't count -- regenerating
+    one report must not block writing the next in the same session."""
     status = _git("status", "--porcelain", "--untracked-files=no")
-    return bool(status)
+    for line in (status or "").splitlines():
+        path = line[3:].split(" -> ")[-1].strip().strip('"')
+        name = Path(path).name
+        if path.startswith("benchmarks/") and name.startswith("BENCH_"):
+            continue
+        return True
+    return False
 
 
 def _machine_info() -> dict:
