@@ -102,7 +102,12 @@ def _tree_is_dirty() -> bool:
     one report must not block writing the next in the same session."""
     status = _git("status", "--porcelain", "--untracked-files=no")
     for line in (status or "").splitlines():
-        path = line[3:].split(" -> ")[-1].strip().strip('"')
+        # ``XY path`` -- split off the status code rather than slicing a
+        # fixed offset, since _git() strips the first line's leading space.
+        fields = line.split(None, 1)
+        if len(fields) < 2:
+            continue
+        path = fields[1].split(" -> ")[-1].strip().strip('"')
         name = Path(path).name
         if path.startswith("benchmarks/") and name.startswith("BENCH_"):
             continue

@@ -1,0 +1,87 @@
+"""Unit tests for the bench-report provenance envelope (conftest).
+
+Fast, no pipeline fixtures: they pin the ``git status --porcelain``
+parsing behind :func:`conftest._tree_is_dirty` and the dirty-tree
+refusal in :func:`conftest.write_bench_json`.  The parsing is easy to
+get wrong because :func:`conftest._git` strips the subprocess output,
+which eats the leading space of the *first* status line (`` M path``
+becomes ``M path``) -- a fixed-offset slice then mangles the path and
+silently defeats the BENCH_* exemption.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import conftest
+
+
+def _with_status(monkeypatch, status: str | None) -> None:
+    def fake_git(*args: str) -> str | None:
+        if args[0] == "rev-parse":
+            return "0" * 40
+        return status
+
+    monkeypatch.setattr(conftest, "_git", fake_git)
+
+
+class TestTreeIsDirty:
+    def test_clean_tree(self, monkeypatch):
+        _with_status(monkeypatch, "")
+        assert not conftest._tree_is_dirty()
+
+    def test_source_change_is_dirty(self, monkeypatch):
+        _with_status(monkeypatch, " M src/repro/fs/cluster.py")
+        assert conftest._tree_is_dirty()
+
+    def test_bench_report_is_exempt(self, monkeypatch):
+        # The first line arrives with its leading space stripped (see
+        # module docstring); the exemption must still match.
+        _with_status(
+            monkeypatch,
+            "M benchmarks/BENCH_scale.json\n M benchmarks/BENCH_replay.json",
+        )
+        assert not conftest._tree_is_dirty()
+
+    def test_bench_report_plus_source_is_dirty(self, monkeypatch):
+        _with_status(
+            monkeypatch,
+            "M benchmarks/BENCH_scale.json\n M benchmarks/conftest.py",
+        )
+        assert conftest._tree_is_dirty()
+
+    def test_renamed_bench_report_is_exempt(self, monkeypatch):
+        _with_status(
+            monkeypatch,
+            "R  benchmarks/BENCH_old.json -> benchmarks/BENCH_new.json",
+        )
+        assert not conftest._tree_is_dirty()
+
+    def test_non_bench_file_in_benchmarks_is_dirty(self, monkeypatch):
+        _with_status(monkeypatch, " M benchmarks/test_bench_replay.py")
+        assert conftest._tree_is_dirty()
+
+    def test_git_unavailable_reads_clean(self, monkeypatch):
+        # No git -> no stamp to misattribute; don't block the write.
+        _with_status(monkeypatch, None)
+        assert not conftest._tree_is_dirty()
+
+
+class TestWriteBenchJson:
+    def test_refuses_dirty_tree(self, monkeypatch, tmp_path):
+        _with_status(monkeypatch, " M src/repro/fs/cluster.py")
+        with pytest.raises(RuntimeError, match="tree is dirty"):
+            conftest.write_bench_json("BENCH_never_written.json", {"x": 1})
+        assert not (tmp_path / "BENCH_never_written.json").exists()
+
+    def test_allow_dirty_overrides(self, monkeypatch, tmp_path):
+        _with_status(monkeypatch, " M src/repro/fs/cluster.py")
+        monkeypatch.setattr(conftest, "Path", lambda _: tmp_path / "x")
+        out = conftest.write_bench_json(
+            "BENCH_tmp.json", {"x": 1}, allow_dirty=True
+        )
+        assert out.name == "BENCH_tmp.json"
+
+    def test_rejects_reserved_payload_keys(self):
+        with pytest.raises(ValueError, match="envelope keys"):
+            conftest.write_bench_json("BENCH_tmp.json", {"commit": "abc"})
