@@ -957,6 +957,24 @@ def _integrity(ctx: ExperimentContext) -> ExperimentResult:
 SCALE_OUT_GROUPS = 4
 SCALE_OUT_SHARD_SWEEP: tuple[int, ...] = (1, 2, 4)
 
+#: The grouped faulty/replicated identity leg of Table D: per-group
+#: fault timelines, a 2-wide replica chain confined to each group's
+#: server slice, and background scrubbing -- all of which must still
+#: merge byte-identically from owned-only shards.
+SCALE_OUT_FAULTY_GROUPS = 2
+SCALE_OUT_FAULTY_SERVERS_PER_GROUP = 2
+SCALE_OUT_FAULTY_SCRUB_INTERVAL = 3600.0
+SCALE_OUT_FAULTS = FaultConfig(
+    server_crash_rate=0.5,
+    server_downtime=40.0,
+    client_crash_rate=0.2,
+    partition_rate=0.2,
+    partition_duration=20.0,
+    disk_corruption_rate=0.4,
+    disk_torn_write_rate=0.2,
+    disk_lost_write_rate=0.2,
+)
+
 
 def _scale_out(ctx: ExperimentContext) -> ExperimentResult:
     """Table D: partitioned replay pinned against the unpartitioned one.
@@ -1044,6 +1062,52 @@ def _scale_out(ctx: ExperimentContext) -> ExperimentResult:
         )
     lines.append("")
     lines.append(f"aggregate digest: {ref_digests[2][:16]}")
+
+    # The faulty/replicated leg: per-group fault timelines, a replica
+    # chain confined to each group's server slice, and background
+    # scrubbing must still merge byte-identically from owned-only
+    # shards.
+    faulty_plan = ScaleOutPlan(
+        profile=STANDARD_PROFILES[0],
+        seed=ctx.seed,
+        scale=ctx.scale,
+        groups=SCALE_OUT_FAULTY_GROUPS,
+        servers_per_group=SCALE_OUT_FAULTY_SERVERS_PER_GROUP,
+        replay_seed=ctx.seed,
+        replication_factor=2,
+        scrub_interval=SCALE_OUT_FAULTY_SCRUB_INTERVAL,
+        faults=SCALE_OUT_FAULTS,
+    )
+    faulty_traces = build_group_traces(
+        faulty_plan,
+        workers=ctx.workers,
+        cache=ctx._artifact_cache,
+        report=ctx.pipeline_report,
+    )
+    faulty_reference = run_unpartitioned_replay(faulty_plan, faulty_traces)
+    faulty_ref_digests = digests(faulty_reference)
+    faulty_part = run_partitioned_replay(
+        faulty_plan,
+        faulty_traces,
+        shards=SCALE_OUT_FAULTY_GROUPS,
+        workers=ctx.workers,
+        cache=ctx._artifact_cache,
+        report=ctx.pipeline_report,
+    )
+    faulty_part_digests = digests(faulty_part)
+    faulty_identical = (
+        faulty_part_digests == faulty_ref_digests
+        and faulty_part.records_replayed == faulty_reference.records_replayed
+    )
+    metrics["identical_faulty_shards_2"] = float(faulty_identical)
+    lines.append("")
+    lines.append(
+        f"faulty leg (groups={faulty_plan.groups}, r=2, "
+        f"scrub={SCALE_OUT_FAULTY_SCRUB_INTERVAL:g}s, "
+        f"servers={faulty_plan.num_servers}): "
+        + ("identical" if faulty_identical else "DIVERGED")
+    )
+    lines.append(f"faulty aggregate digest: {faulty_ref_digests[2][:16]}")
     return ExperimentResult(
         experiment_id="scale_out",
         title="Table D: partitioned replay vs unpartitioned reference",

@@ -35,7 +35,7 @@ from repro.fs.counters import ClientCounters
 from repro.fs.oracle import ProtocolOracle
 from repro.fs.rpc import RpcTransport
 from repro.fs.server import Server
-from repro.fs.sharding import Placement
+from repro.fs.sharding import MachineRoster, Placement
 from repro.sim.engine import Engine
 from repro.sim.timers import RecurringTimer, SharedTicker
 
@@ -129,8 +129,20 @@ class ClientKernel:
         self.client_id = client_id
         self.config = config
         self.engine = engine
-        servers = [server] if isinstance(server, Server) else list(server)
-        self.servers: list[Server] = servers
+        if isinstance(server, Server):
+            servers: Sequence[Server] = [server]
+        elif isinstance(server, MachineRoster):
+            # A grouped cluster hands each client its group's server
+            # slice as a roster: global ids and global len(), owned
+            # (slice) iteration, loud refusal of foreign servers.
+            servers = server
+        else:
+            servers = list(server)
+        self.servers = servers
+        #: The shard implied when a caller names no server: the first
+        #: server this client can actually reach (shard 0 classically,
+        #: the slice's first server for a grouped client).
+        self._default_server = next(iter(servers))
         self.placement = (
             placement if placement is not None else Placement(len(servers))
         )
@@ -139,10 +151,14 @@ class ClientKernel:
             channel_rngs: list[RngStream | None] = [channel_rng] * len(servers)
         else:
             channel_rngs = list(channel_rng)
-        self.transports: list[RpcTransport] = [
+        transports = [
             RpcTransport(self, shard, config.faults, rng=rng, oracle=oracle)
             for shard, rng in zip(servers, channel_rngs)
         ]
+        self.transports: Sequence[RpcTransport] = (
+            servers.like(transports, kind="transport to server")
+            if isinstance(servers, MachineRoster) else transports
+        )
         #: Backing-file paging is pinned to one shard per client (a
         #: process's backing file lives on a single server).  Grouped
         #: clusters pass an explicit shard so the pin stays inside the
@@ -331,10 +347,10 @@ class ClientKernel:
         return self.up and now >= self.partition_until
 
     def _unavailable_until(self, now: float, server: Server | None = None) -> float:
-        """When ``server`` (shard 0 by default) becomes reachable again
-        (== ``now`` if it already is)."""
+        """When ``server`` (this client's default shard when omitted)
+        becomes reachable again (== ``now`` if it already is)."""
         if server is None:
-            server = self.servers[0]
+            server = self._default_server
         until = now
         if not server.up:
             until = max(until, server.down_until)

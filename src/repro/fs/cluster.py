@@ -9,7 +9,8 @@ per-client paging models, pulsed on every open.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.common.errors import ConfigError, SimulationError
@@ -22,7 +23,7 @@ from repro.fs.faults import FaultInjector, FaultSchedule
 from repro.fs.oracle import ProtocolOracle
 from repro.fs.paging import PagingModel
 from repro.fs.server import Server
-from repro.fs.sharding import Placement, _mix64
+from repro.fs.sharding import MachineRoster, Placement, _mix64
 from repro.fs.vm import VirtualMemory
 from repro.sim.engine import Engine
 from repro.sim.timers import SharedTicker
@@ -57,6 +58,19 @@ class ClusterResult:
     #: single-server cluster this is a 1-tuple whose entry equals
     #: ``server_counters``.
     per_server_counters: tuple[ServerCounters, ...] = ()
+    #: Global server ids of the ``per_server_counters`` rows.  An
+    #: owned-only shard replay carries rows for its owned servers only,
+    #: so the merge needs the ids; the empty default means positional
+    #: (row i is server i), which every full replay satisfies.
+    server_ids: tuple[int, ...] = ()
+    #: Wall-clock seconds spent constructing the cluster (machines,
+    #: placement, RNG forks) -- the cost owned-only construction exists
+    #: to bound; summed across shards by the merge.
+    construction_seconds: float = 0.0
+    #: Shared-ticker firings over the replay (writeback scans,
+    #: heartbeats, snapshots, scrubs): the recurring-event overhead an
+    #: owned-only shard avoids paying for foreign machines.
+    tick_events: int = 0
 
     def all_snapshots(self) -> list[CounterSnapshot]:
         out: list[CounterSnapshot] = []
@@ -103,7 +117,9 @@ class Cluster:
         fault_schedule: FaultSchedule | None = None,
         oracle: ProtocolOracle | None = None,
         obs=None,
+        owned_groups: Sequence[int] | None = None,
     ) -> None:
+        construction_start = time.perf_counter()
         self.config = config
         self.engine = Engine()
         #: Coalesced recurring ticks, one ticker per distinct period:
@@ -137,12 +153,64 @@ class Cluster:
                 )
             self._fsync_salt = _mix64(seed ^ 0x9E3779B97F4A7C15)
             self._fsync_threshold = int(config.fsync_probability * 2.0**64)
-        self.servers: list[Server] = [
-            Server(config.server_memory, config.block_size, server_id=i)
-            for i in range(config.num_servers)
-        ]
+        #: Owned-only construction: a shard replay instantiates only its
+        #: ``owned_groups``' clients and servers; the rest of the
+        #: cluster exists only as :class:`MachineRoster` routing stubs
+        #: that refuse foreign traffic loudly.  The default owns every
+        #: group -- the classic full cluster, with plain lists.
+        if owned_groups is None:
+            owned = tuple(range(groups))
+        else:
+            owned = tuple(sorted(set(owned_groups)))
+            if not owned or owned[0] < 0 or owned[-1] >= groups:
+                raise ConfigError(
+                    f"owned_groups {list(owned)} must be a non-empty "
+                    f"subset of 0..{groups - 1} "
+                    f"(client_groups={groups})"
+                )
+        self._owned_groups = owned
+        partial = len(owned) < groups
+        spg = self._servers_per_group = config.num_servers // groups
+        self.servers: Sequence[Server]
+        if partial:
+            owned_server_ids = [
+                sid
+                for group in owned
+                for sid in range(group * spg, (group + 1) * spg)
+            ]
+            self.servers = MachineRoster(
+                "server",
+                config.num_servers,
+                [
+                    Server(config.server_memory, config.block_size,
+                           server_id=sid)
+                    for sid in owned_server_ids
+                ],
+                owned_server_ids,
+            )
+        else:
+            self.servers = [
+                Server(config.server_memory, config.block_size, server_id=i)
+                for i in range(config.num_servers)
+            ]
+        #: Per-group client lists (None for the classic ungrouped
+        #: cluster): grouped broadcasts -- cacheability changes, delete
+        #: fan-out, recovery sweeps -- are confined to the one group
+        #: they can affect, which is both the scalability win and what
+        #: keeps a partial shard from ever touching a foreign machine.
+        self._group_clients: dict[int, list[ClientKernel]] | None = (
+            {} if groups > 1 else None
+        )
+        self._client_group: dict[int, int] = {}
         for server in self.servers:
-            server.on_cacheability_change = self._cacheability_changed
+            if groups == 1:
+                server.on_cacheability_change = self._cacheability_changed
+            else:
+                server.on_cacheability_change = (
+                    lambda file_id, cacheable,
+                    _group=server.server_id // spg:
+                        self._group_cacheability(_group, file_id, cacheable)
+                )
 
         #: Replication (repro.fs.replication): constructed only when
         #: configured, so an unreplicated cluster runs no heartbeat
@@ -159,9 +227,15 @@ class Cluster:
                 config.replication_factor,
                 config.heartbeat_miss_threshold,
                 ticker=self.shared_ticker(config.heartbeat_interval),
+                groups=groups,
+                owned_groups=owned if groups > 1 else None,
             )
             if oracle is not None:
-                oracle.replica_map = self.replication.replica_map
+                if groups == 1:
+                    oracle.replica_map = self.replication.replica_map
+                else:
+                    oracle.group_replica_maps = self.replication.group_maps()
+                    oracle.servers_per_group = spg
 
         #: Integrity layer (repro.fs.integrity): per-block checksums,
         #: verified reads with repair-from-replica, and the background
@@ -177,14 +251,21 @@ class Cluster:
         ):
             from repro.fs.integrity import IntegrityManager
 
-            self.integrity = IntegrityManager(
-                self.servers,
-                replica_map=(
-                    self.replication.replica_map
-                    if self.replication is not None
-                    else None
-                ),
-            )
+            if self.replication is not None and groups > 1:
+                self.integrity = IntegrityManager(
+                    self.servers,
+                    group_maps=self.replication.group_maps(),
+                    servers_per_group=spg,
+                )
+            else:
+                self.integrity = IntegrityManager(
+                    self.servers,
+                    replica_map=(
+                        self.replication.replica_map
+                        if self.replication is not None
+                        else None
+                    ),
+                )
             for server in self.servers:
                 server.integrity = self.integrity
             if self.replication is not None:
@@ -198,65 +279,145 @@ class Cluster:
 
         #: VM base demand: the window system and daemons hold a slab of
         #: memory permanently; per-client jitter keeps machines distinct.
-        self.clients: list[ClientKernel] = []
-        self.paging: list[PagingModel] = []
+        self.clients: Sequence[ClientKernel]
+        self.paging: Sequence[PagingModel]
         binaries = PagingModel.build_binaries(self.rng.fork("binaries"))
-        clients_per_group = config.client_count // groups
-        servers_per_group = config.num_servers // groups
-        for client_id in range(config.client_count):
-            client_rng = self.rng.fork(f"client-{client_id}")
-            base_pages = int(
-                client_rng.uniform(6.0, 9.0) * MB / config.block_size
-            )
-            vm = VirtualMemory(
-                total_pages=config.client_page_count,
-                preference_seconds=config.vm_preference,
-                base_demand_pages=min(base_pages, config.client_page_count // 2),
-                cache_floor_pages=config.min_cache_size // config.block_size,
-            )
-            # ``fork`` is a pure function of the parent key and name, so
-            # the channel stream exists (unused) even in fault-free runs
-            # without perturbing any other stream.  Shard 0 keeps the
-            # historical "channel" name; extra shards get new names, so
-            # a single-server build's streams are untouched.
-            channel_rngs = [client_rng.fork("channel")] + [
-                client_rng.fork(f"channel-{i}")
-                for i in range(1, config.num_servers)
-            ]
-            if groups > 1:
-                group = client_id // clients_per_group
-                client_placement = self.placement.group_view(group, groups)
-                # Pin paging inside the group's server slice (the
-                # classic ``client_id % num_servers`` would leak
-                # paging traffic onto other groups' servers).
-                paging_shard = (
-                    group * servers_per_group + client_id % servers_per_group
+        if groups == 1:
+            clients: list[ClientKernel] = []
+            paging: list[PagingModel] = []
+            for client_id in range(config.client_count):
+                client_rng = self.rng.fork(f"client-{client_id}")
+                base_pages = int(
+                    client_rng.uniform(6.0, 9.0) * MB / config.block_size
                 )
+                vm = VirtualMemory(
+                    total_pages=config.client_page_count,
+                    preference_seconds=config.vm_preference,
+                    base_demand_pages=min(
+                        base_pages, config.client_page_count // 2
+                    ),
+                    cache_floor_pages=config.min_cache_size // config.block_size,
+                )
+                # ``fork`` is a pure function of the parent key and name,
+                # so the channel stream exists (unused) even in fault-free
+                # runs without perturbing any other stream.  Shard 0 keeps
+                # the historical "channel" name; extra shards get new
+                # names, so a single-server build's streams are untouched.
+                channel_rngs = [client_rng.fork("channel")] + [
+                    client_rng.fork(f"channel-{i}")
+                    for i in range(1, config.num_servers)
+                ]
+                client = ClientKernel(
+                    client_id, config, self.engine, self.servers, vm,
+                    channel_rng=channel_rngs,
+                    oracle=oracle,
+                    placement=self.placement,
+                    ticker=self.shared_ticker(config.writeback_scan_interval),
+                    replication=self.replication,
+                    integrity=self.integrity,
+                )
+                for server in self.servers:
+                    server.register_client(client)
+                clients.append(client)
+                paging.append(
+                    PagingModel(
+                        client,
+                        self.engine,
+                        client_rng.fork("paging"),
+                        binaries,
+                        intensity=config.paging_intensity,
+                    )
+                )
+            self.clients = clients
+            self.paging = paging
+        else:
+            # Grouped construction: every client -- in the full replay
+            # and in a partial shard alike -- sees exactly its group's
+            # server slice (through a roster that keeps global ids), its
+            # group's placement view, and its group's replication
+            # facade.  Client rngs keep their global names, and channel
+            # streams are forked only for slice servers (forks are pure,
+            # so the never-used foreign forks change nothing), which is
+            # what makes a shard's client byte-identical to the same
+            # client in the unpartitioned replay.
+            offsets = config.group_client_offsets
+            client_items: list[ClientKernel] = []
+            paging_items: list[PagingModel] = []
+            client_ids: list[int] = []
+            for group in owned:
+                slice_ids = list(range(group * spg, (group + 1) * spg))
+                slice_servers = [self.servers[sid] for sid in slice_ids]
+                server_roster = MachineRoster(
+                    "server", config.num_servers, slice_servers, slice_ids
+                )
+                group_placement = self.placement.group_view(group, groups)
+                group_replication = (
+                    self.replication.group_view(group)
+                    if self.replication is not None
+                    else None
+                )
+                members: list[ClientKernel] = []
+                for client_id in range(offsets[group], offsets[group + 1]):
+                    client_rng = self.rng.fork(f"client-{client_id}")
+                    base_pages = int(
+                        client_rng.uniform(6.0, 9.0) * MB / config.block_size
+                    )
+                    vm = VirtualMemory(
+                        total_pages=config.client_page_count,
+                        preference_seconds=config.vm_preference,
+                        base_demand_pages=min(
+                            base_pages, config.client_page_count // 2
+                        ),
+                        cache_floor_pages=(
+                            config.min_cache_size // config.block_size
+                        ),
+                    )
+                    channel_rngs = [
+                        client_rng.fork(
+                            "channel" if sid == 0 else f"channel-{sid}"
+                        )
+                        for sid in slice_ids
+                    ]
+                    client = ClientKernel(
+                        client_id, config, self.engine, server_roster, vm,
+                        channel_rng=channel_rngs,
+                        oracle=oracle,
+                        placement=group_placement,
+                        ticker=self.shared_ticker(
+                            config.writeback_scan_interval
+                        ),
+                        replication=group_replication,
+                        integrity=self.integrity,
+                        # Pin paging inside the group's server slice (the
+                        # classic ``client_id % num_servers`` would leak
+                        # paging traffic onto other groups' servers).
+                        paging_shard=group * spg + client_id % spg,
+                    )
+                    for server in slice_servers:
+                        server.register_client(client)
+                    members.append(client)
+                    paging_items.append(
+                        PagingModel(
+                            client,
+                            self.engine,
+                            client_rng.fork("paging"),
+                            binaries,
+                            intensity=config.paging_intensity,
+                        )
+                    )
+                    self._client_group[client_id] = group
+                self._group_clients[group] = members
+                client_items.extend(members)
+                client_ids.extend(range(offsets[group], offsets[group + 1]))
+            if partial:
+                roster = MachineRoster(
+                    "client", config.client_count, client_items, client_ids
+                )
+                self.clients = roster
+                self.paging = roster.like(paging_items, kind="paging model")
             else:
-                client_placement = self.placement
-                paging_shard = None
-            client = ClientKernel(
-                client_id, config, self.engine, self.servers, vm,
-                channel_rng=channel_rngs,
-                oracle=oracle,
-                placement=client_placement,
-                ticker=self.shared_ticker(config.writeback_scan_interval),
-                replication=self.replication,
-                integrity=self.integrity,
-                paging_shard=paging_shard,
-            )
-            for server in self.servers:
-                server.register_client(client)
-            self.clients.append(client)
-            self.paging.append(
-                PagingModel(
-                    client,
-                    self.engine,
-                    client_rng.fork("paging"),
-                    binaries,
-                    intensity=config.paging_intensity,
-                )
-            )
+                self.clients = client_items
+                self.paging = paging_items
 
         self._snapshots: dict[int, list[CounterSnapshot]] = {
             c.client_id: [] for c in self.clients
@@ -269,6 +430,7 @@ class Cluster:
         self._dispatch = self._build_dispatch_table()
         if obs is not None:
             obs.attach(self)
+        self.construction_seconds = time.perf_counter() - construction_start
 
     # --- plumbing ------------------------------------------------------------
 
@@ -287,6 +449,15 @@ class Cluster:
 
     def _cacheability_changed(self, file_id: int, cacheable: bool) -> None:
         for client in self.clients:
+            client.receive_cacheability(file_id, cacheable)
+
+    def _group_cacheability(
+        self, group: int, file_id: int, cacheable: bool
+    ) -> None:
+        """Grouped broadcast: only the owning group's clients can hold
+        the file (ids are group-strided and binaries are never
+        write-shared), so the sweep stops at the group boundary."""
+        for client in self._group_clients[group]:
             client.receive_cacheability(file_id, cacheable)
 
     def _take_snapshots(self) -> None:
@@ -331,15 +502,31 @@ class Cluster:
             # Encoding: -1 - server_id, so the single-server case keeps
             # its historical -1 target.
             self.obs.on_fault_recovered(now, "server_crash", -1 - server_id)
-        for client in self.clients:
-            client.on_server_recovered(now, server_id)
+        if self._group_clients is None:
+            for client in self.clients:
+                client.on_server_recovered(now, server_id)
+        else:
+            # Only the server's own group's clients can hold its files;
+            # a foreign client's sweep would be a no-op (and a partial
+            # shard has no foreign clients to run it on).
+            group = server_id // self._servers_per_group
+            for client in self._group_clients[group]:
+                client.on_server_recovered(now, server_id)
 
     def crash_client(self, client: ClientKernel) -> None:
         """A client dies: its cache (and any un-written dirty data) is
-        lost and every server purges its registrations."""
+        lost and every server that could know it purges its
+        registrations (all of them classically; the client's group's
+        slice when grouped -- it never registered anywhere else)."""
         client.crash(self.engine.now)
-        for server in self.servers:
-            server.client_crashed(client.client_id)
+        if self._group_clients is None:
+            for server in self.servers:
+                server.client_crashed(client.client_id)
+        else:
+            spg = self._servers_per_group
+            first = self._client_group[client.client_id] * spg
+            for sid in range(first, first + spg):
+                self.servers[sid].client_crashed(client.client_id)
 
     def reboot_client(self, client: ClientKernel) -> None:
         client.reboot(self.engine.now)
@@ -474,8 +661,15 @@ class Cluster:
             client.counters.ops_dropped_while_down += 1
             return
         client.delete_on_server(now, record.file_id)
-        for each in self.clients:
-            each.delete_file(now, record.file_id)
+        if self._group_clients is None:
+            for each in self.clients:
+                each.delete_file(now, record.file_id)
+        else:
+            # Group-strided file ids: only the deleting client's own
+            # group can hold blocks of the file.
+            group = self._client_group[client.client_id]
+            for each in self._group_clients[group]:
+                each.delete_file(now, record.file_id)
 
     def _dispatch_directory_read(
         self, record: DirectoryReadRecord, now: float
@@ -496,13 +690,28 @@ class Cluster:
         if schedule is None and (
             self.config.faults.any_faults or self.config.faults.any_disk_faults
         ):
-            schedule = FaultSchedule.generate(
-                self.config.faults,
-                self.config.client_count,
-                duration,
-                self.rng.fork("faults"),
-                num_servers=self.config.num_servers,
-            )
+            if self.config.client_groups > 1:
+                # Per-group timelines: group g's events are a pure
+                # function of (config, duration, seed, g), so a shard
+                # generating only its owned groups gets exactly the
+                # events the unpartitioned schedule holds for them.
+                schedule = FaultSchedule.generate_grouped(
+                    self.config.faults,
+                    duration,
+                    self.rng.fork("faults"),
+                    groups=self.config.client_groups,
+                    group_sizes=self.config.group_sizes,
+                    servers_per_group=self._servers_per_group,
+                    owned_groups=self._owned_groups,
+                )
+            else:
+                schedule = FaultSchedule.generate(
+                    self.config.faults,
+                    self.config.client_count,
+                    duration,
+                    self.rng.fork("faults"),
+                    num_servers=self.config.num_servers,
+                )
         if schedule is not None and len(schedule):
             FaultInjector(self, schedule).arm()
         # Hot loop: handler lookup replaces the isinstance chain, and
@@ -575,6 +784,9 @@ class Cluster:
             server_counters=aggregate,
             records_replayed=self._records,
             per_server_counters=per_server,
+            server_ids=tuple(s.server_id for s in self.servers),
+            construction_seconds=self.construction_seconds,
+            tick_events=sum(t.fire_count for t in self._tickers.values()),
         )
 
 
@@ -584,16 +796,19 @@ def merge_cluster_results(
 ) -> ClusterResult:
     """Merge shard replays of a grouped cluster into one result.
 
-    Each shard replayed the same full cluster (same config, same seed,
-    identical construction) but dispatched only its ``owned_groups``'
-    records; because groups share no servers, no RNG stream, and no
-    state, a shard's owned clients and servers end in exactly the state
-    the unpartitioned replay leaves them in.  The merge is therefore
-    pure selection: every client's counters/snapshots and every
-    server's row come from the shard that owns its group, the aggregate
-    is recomputed in server order (the same float-summation order the
-    unpartitioned replay uses), and record counts add up because every
-    record was dispatched by exactly one shard.
+    Each shard replayed the same cluster (same config, same seed) with
+    only its ``owned_groups``' machines constructed, and dispatched
+    only those groups' records; because groups share no servers, no RNG
+    stream, and no state, a shard's owned clients and servers end in
+    exactly the state the unpartitioned replay leaves them in.  The
+    merge is therefore pure selection: every client's counters/
+    snapshots and every server's row come from the shard that owns its
+    group (rows resolved through ``server_ids``), the aggregate is
+    recomputed in global server-id order (the same float-summation
+    order the unpartitioned replay uses), and record counts add up
+    because every record was dispatched by exactly one shard.  The
+    construction-time and tick-overhead gauges are summed -- they
+    report what the shard fleet actually spent.
     """
     if not results or len(results) != len(owned_groups):
         raise ConfigError(
@@ -602,37 +817,53 @@ def merge_cluster_results(
         )
     config = results[0].config
     groups = config.client_groups
-    owner: dict[int, ClusterResult] = {}
-    for result, owned in zip(results, owned_groups):
+    owner: dict[int, int] = {}
+    for index, (result, owned) in enumerate(zip(results, owned_groups)):
         if result.config != config:
             raise ConfigError("shard results disagree on cluster config")
         for group in owned:
             if group in owner:
                 raise ConfigError(f"group {group} owned by two shards")
-            owner[group] = result
+            owner[group] = index
     if sorted(owner) != list(range(groups)):
         raise ConfigError(
             f"owned groups {sorted(owner)} do not cover 0..{groups - 1}"
         )
-    clients_per_group = config.client_count // groups
+    # Per-shard row maps keyed by global server id: an owned-only shard
+    # carries rows for its owned servers only (``server_ids`` names
+    # them); a full replay's empty default means positional.
+    row_maps: list[dict[int, ServerCounters]] = []
+    for result in results:
+        ids = result.server_ids or tuple(
+            range(len(result.per_server_counters))
+        )
+        if len(ids) != len(result.per_server_counters):
+            raise ConfigError(
+                f"result carries {len(result.per_server_counters)} server "
+                f"rows but {len(ids)} server ids"
+            )
+        row_maps.append(dict(zip(ids, result.per_server_counters)))
+    offsets = config.group_client_offsets
     servers_per_group = config.num_servers // groups
     snapshots: dict[int, list[CounterSnapshot]] = {}
     final_counters: dict[int, ClientCounters] = {}
-    for group in range(groups):
-        result = owner[group]
-        for client_id in range(
-            group * clients_per_group, (group + 1) * clients_per_group
-        ):
-            snapshots[client_id] = result.snapshots[client_id]
-            final_counters[client_id] = result.final_counters[client_id]
     per_server: list[ServerCounters] = []
     for group in range(groups):
-        result = owner[group]
-        per_server.extend(
-            result.per_server_counters[
-                group * servers_per_group:(group + 1) * servers_per_group
-            ]
-        )
+        result = results[owner[group]]
+        for client_id in range(offsets[group], offsets[group + 1]):
+            snapshots[client_id] = result.snapshots[client_id]
+            final_counters[client_id] = result.final_counters[client_id]
+        rows = row_maps[owner[group]]
+        for sid in range(
+            group * servers_per_group, (group + 1) * servers_per_group
+        ):
+            try:
+                per_server.append(rows[sid])
+            except KeyError:
+                raise ConfigError(
+                    f"shard owning group {group} carries no counters for "
+                    f"server {sid}"
+                ) from None
     if len(per_server) == 1:
         aggregate = per_server[0].copy()
     else:
@@ -645,6 +876,9 @@ def merge_cluster_results(
         server_counters=aggregate,
         records_replayed=sum(r.records_replayed for r in results),
         per_server_counters=tuple(per_server),
+        server_ids=tuple(range(config.num_servers)),
+        construction_seconds=sum(r.construction_seconds for r in results),
+        tick_events=sum(r.tick_events for r in results),
     )
 
 
@@ -656,10 +890,11 @@ def run_cluster_on_trace(
     fault_schedule: FaultSchedule | None = None,
     oracle: ProtocolOracle | None = None,
     obs=None,
+    owned_groups: Sequence[int] | None = None,
 ) -> ClusterResult:
     """Convenience wrapper: build a cluster and replay one trace."""
     cluster = Cluster(
         config or ClusterConfig(), seed=seed, fault_schedule=fault_schedule,
-        oracle=oracle, obs=obs,
+        oracle=oracle, obs=obs, owned_groups=owned_groups,
     )
     return cluster.replay(records, duration)

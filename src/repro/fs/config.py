@@ -95,6 +95,15 @@ class ClusterConfig:
     #: workers and merged byte-identically (repro.pipeline.scaleout).
     client_groups: int = 1
 
+    #: Per-group client counts for unequal splits (scale-out planning
+    #: distributes a population remainder over the first groups).  The
+    #: empty default keeps the historical equal split, in which case
+    #: ``client_groups`` must evenly divide ``client_count``; when set
+    #: it must have one positive entry per group summing to
+    #: ``client_count``.  Group ``g`` owns the contiguous client-id
+    #: block starting at ``sum(sizes[:g])``.
+    client_group_sizes: tuple[int, ...] = ()
+
     #: Paging model: target paging bytes as a fraction of file bytes
     #: (the paper measured paging at roughly 35% of all traffic).
     paging_intensity: float = 1.0
@@ -151,33 +160,75 @@ class ClusterConfig:
             raise ConfigError(
                 f"client_groups must be >= 1, got {self.client_groups}"
             )
+        if self.client_group_sizes and self.client_groups == 1:
+            raise ConfigError(
+                "client_group_sizes requires client_groups > 1 "
+                f"(got sizes {self.client_group_sizes})"
+            )
         if self.client_groups > 1:
-            if self.client_count % self.client_groups:
+            if self.client_group_sizes:
+                if len(self.client_group_sizes) != self.client_groups:
+                    raise ConfigError(
+                        f"client_group_sizes has {len(self.client_group_sizes)} "
+                        f"entries for client_groups={self.client_groups}"
+                    )
+                if any(size < 1 for size in self.client_group_sizes):
+                    raise ConfigError(
+                        "every client group needs at least one client, got "
+                        f"sizes {self.client_group_sizes}"
+                    )
+                if sum(self.client_group_sizes) != self.client_count:
+                    raise ConfigError(
+                        f"client_group_sizes sum to "
+                        f"{sum(self.client_group_sizes)}, not "
+                        f"client_count={self.client_count}"
+                    )
+            elif self.client_count % self.client_groups:
                 raise ConfigError(
                     f"client_groups={self.client_groups} must evenly divide "
-                    f"client_count={self.client_count}"
+                    f"client_count={self.client_count} (or pass "
+                    "client_group_sizes for an unequal split)"
                 )
             if self.num_servers % self.client_groups:
                 raise ConfigError(
                     f"client_groups={self.client_groups} must evenly divide "
                     f"num_servers={self.num_servers}"
                 )
-            if self.replication_factor > 1:
+            # Replication, fault timelines, and scrub cursors are all
+            # confined to a group's own server slice and RNG fork, so
+            # they compose with grouping; the one per-group bound is
+            # that a file's replica chain must fit its group's slice.
+            if self.replication_factor > self.num_servers // self.client_groups:
                 raise ConfigError(
-                    "client_groups > 1 does not support replication "
-                    "(groups own disjoint server slices)"
-                )
-            if self.faults.any_faults or self.faults.any_disk_faults:
-                raise ConfigError(
-                    "client_groups > 1 does not support fault injection "
-                    "(fault schedules couple groups)"
-                )
-            if self.scrub_interval > 0:
-                raise ConfigError(
-                    "client_groups > 1 does not support scrubbing"
+                    f"replication_factor={self.replication_factor} does not "
+                    f"fit a group's server slice (num_servers="
+                    f"{self.num_servers} // client_groups="
+                    f"{self.client_groups} = "
+                    f"{self.num_servers // self.client_groups} servers per "
+                    "group)"
                 )
 
     @property
     def client_page_count(self) -> int:
         """Tradable pages per client (total minus kernel)."""
         return (self.client_memory - self.kernel_memory) // self.block_size
+
+    @property
+    def group_sizes(self) -> tuple[int, ...]:
+        """Per-group client counts (a 1-tuple for the classic cluster)."""
+        if self.client_groups == 1:
+            return (self.client_count,)
+        if self.client_group_sizes:
+            return self.client_group_sizes
+        return (
+            self.client_count // self.client_groups,
+        ) * self.client_groups
+
+    @property
+    def group_client_offsets(self) -> tuple[int, ...]:
+        """Prefix sums of :attr:`group_sizes`, length ``groups + 1``:
+        group ``g`` owns the client-id block ``[off[g], off[g+1])``."""
+        offsets = [0]
+        for size in self.group_sizes:
+            offsets.append(offsets[-1] + size)
+        return tuple(offsets)

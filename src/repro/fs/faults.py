@@ -398,6 +398,130 @@ class FaultSchedule:
             )
         return cls(events, disk_events)
 
+    @classmethod
+    def generate_grouped(
+        cls,
+        config: FaultConfig,
+        duration: float,
+        rng: RngStream,
+        *,
+        groups: int,
+        group_sizes: tuple[int, ...],
+        servers_per_group: int,
+        owned_groups: tuple[int, ...] | None = None,
+    ) -> "FaultSchedule":
+        """Draw a per-group schedule for a grouped cluster.
+
+        Every machine stream hangs off its group's fork
+        (``rng.fork(f"group-{g}")``), and ``fork`` is a pure function of
+        the parent key and name -- so group ``g``'s timeline is a pure
+        function of ``(config, duration, seed, g)``, independent of how
+        many other groups exist or which shard generates it.  A shard
+        passing only its ``owned_groups`` therefore produces exactly
+        the events the unpartitioned replay's full schedule holds for
+        those groups, and :meth:`__post_init__`'s canonical sort makes
+        the concatenation order irrelevant.
+
+        Server crashes always carry an explicit server id (never the
+        historical ``SERVER_TARGET`` alias), and disk streams use the
+        same per-kind names as :meth:`generate` but under the group
+        fork, so grouped and ungrouped schedules never share a stream.
+        """
+        if len(group_sizes) != groups:
+            raise ConfigError(
+                f"got {len(group_sizes)} group sizes for {groups} groups"
+            )
+        events: list[FaultEvent] = []
+        disk_events: list[DiskFaultEvent] = []
+
+        def draw(
+            stream: RngStream,
+            rate_per_hour: float,
+            mean_downtime: float,
+            kind: FaultKind,
+            target: int,
+        ) -> None:
+            if rate_per_hour <= 0:
+                return
+            mean_gap = 3600.0 / rate_per_hour
+            t = 0.0
+            while True:
+                t += stream.exponential(mean_gap)
+                if t >= duration:
+                    return
+                down = max(1.0, stream.exponential(mean_downtime))
+                events.append(FaultEvent(t, kind, target, down))
+                t += down
+
+        def draw_disk(
+            stream: RngStream,
+            rate_per_hour: float,
+            kind: DiskFaultKind,
+            server_id: int,
+        ) -> None:
+            if rate_per_hour <= 0:
+                return
+            mean_gap = 3600.0 / rate_per_hour
+            t = 0.0
+            while True:
+                t += stream.exponential(mean_gap)
+                if t >= duration:
+                    return
+                disk_events.append(
+                    DiskFaultEvent(t, kind, server_id, stream.random())
+                )
+
+        offsets = [0]
+        for size in group_sizes:
+            offsets.append(offsets[-1] + size)
+        for group in owned_groups if owned_groups is not None else range(groups):
+            if not 0 <= group < groups:
+                raise ConfigError(f"group {group} out of range for {groups}")
+            grng = rng.fork(f"group-{group}")
+            first_server = group * servers_per_group
+            for server_id in range(first_server, first_server + servers_per_group):
+                draw(
+                    grng.fork(f"server-{server_id}"),
+                    config.server_crash_rate,
+                    config.server_downtime,
+                    FaultKind.SERVER_CRASH,
+                    server_id,
+                )
+                draw_disk(
+                    grng.fork(f"disk-bitrot-{server_id}"),
+                    config.disk_corruption_rate,
+                    DiskFaultKind.BIT_ROT,
+                    server_id,
+                )
+                draw_disk(
+                    grng.fork(f"disk-torn-{server_id}"),
+                    config.disk_torn_write_rate,
+                    DiskFaultKind.TORN_WRITE,
+                    server_id,
+                )
+                draw_disk(
+                    grng.fork(f"disk-lost-{server_id}"),
+                    config.disk_lost_write_rate,
+                    DiskFaultKind.LOST_WRITE,
+                    server_id,
+                )
+            for client_id in range(offsets[group], offsets[group + 1]):
+                draw(
+                    grng.fork(f"client-crash-{client_id}"),
+                    config.client_crash_rate,
+                    config.client_downtime,
+                    FaultKind.CLIENT_CRASH,
+                    client_id,
+                )
+                draw(
+                    grng.fork(f"partition-{client_id}"),
+                    config.partition_rate,
+                    config.partition_duration,
+                    FaultKind.PARTITION,
+                    client_id,
+                )
+        return cls(events, disk_events)
+
 
 class FaultInjector:
     """Arms a schedule on a cluster's event engine.

@@ -111,13 +111,21 @@ class IntegrityManager:
     SCRUB_CHUNK = 128
 
     def __init__(
-        self, servers: "list[Server]", replica_map: Any | None = None
+        self, servers: "list[Server]", replica_map: Any | None = None,
+        *, group_maps: "dict[int, Any] | None" = None,
+        servers_per_group: int = 0,
     ) -> None:
         self.servers = servers
         #: The cluster's :class:`~repro.fs.replication.ReplicaMap` when
         #: replication is on; names the repair candidates.  None = r=1:
         #: every unrepairable corruption becomes a declared loss.
         self.replica_map = replica_map
+        #: Grouped cluster: one ReplicaMap per (owned) group instead,
+        #: resolved through the server id a lookup concerns -- shared
+        #: file ids map to a different slice per group.
+        self._group_maps = group_maps
+        self._servers_per_group = servers_per_group
+        self._replicated = replica_map is not None or group_maps is not None
         #: Optional observability hook (repro.obs); every use is guarded.
         self.obs = None
         n = len(servers)
@@ -149,6 +157,15 @@ class IntegrityManager:
         self._scrub_pos = [0] * n
         for server in servers:
             server.cache.enable_integrity()
+
+    def _peer_replicas(self, server_id: int, file_id: int) -> tuple[int, ...]:
+        """The replica set ``server_id`` belongs to for ``file_id``,
+        resolved through the server's group when grouped (shared file
+        ids place into a different slice per group)."""
+        if self._group_maps is not None:
+            group = server_id // self._servers_per_group
+            return self._group_maps[group].replicas(file_id)
+        return self.replica_map.replicas(file_id)
 
     # --- the write path ---------------------------------------------------------
 
@@ -234,8 +251,8 @@ class IntegrityManager:
         book a declared loss.  Returns True when repaired."""
         best: tuple[int, int, int] | None = None
         best_src = -1
-        if self.replica_map is not None:
-            for peer in self.replica_map.replicas(key[0]):
+        if self._replicated:
+            for peer in self._peer_replicas(server_id, key[0]):
                 if peer == server_id or peer >= len(self.servers):
                     continue
                 if not self.servers[peer].up:
@@ -388,11 +405,11 @@ class IntegrityManager:
             # replica to compare against (repair still needs one).
             self._repair(now, server_id, key)
             return True
-        if self.replica_map is not None:
+        if self._replicated:
             # Generation cross-check against live peers: a verifying
             # payload with a stale stamp is a lost write (or a push the
             # outage swallowed) -- the corruption checksums cannot see.
-            for peer in self.replica_map.replicas(key[0]):
+            for peer in self._peer_replicas(server_id, key[0]):
                 if peer == server_id or peer >= len(self.servers):
                     continue
                 if not self.servers[peer].up:

@@ -93,6 +93,12 @@ class ProtocolOracle:
         #: replica-divergence final check and switches the writeback
         #: ledger to the fan-out counter.
         self.replica_map: Any | None = None
+        #: Grouped replicated cluster: one ReplicaMap per (owned) group
+        #: instead, plus the slice width -- shared file ids place into a
+        #: different server slice per group, so the divergence sweep
+        #: must run per group.  Both set by the cluster.
+        self.group_replica_maps: "dict[int, Any] | None" = None
+        self.servers_per_group: int = 0
         #: The cluster's :class:`~repro.fs.integrity.IntegrityManager`,
         #: set by the cluster when the integrity layer is built; enables
         #: the end-state silent-corruption sweep.
@@ -193,7 +199,7 @@ class ProtocolOracle:
                     now, "final", -1, "cross-shard-writeback-ledger"
                 )
             received = sum(s.counters.block_writes for s in servers)
-            if self.replica_map is not None:
+            if self.replica_map is not None or self.group_replica_maps:
                 # Replicated writebacks fan out: every clean crosses the
                 # wire once per live replica, and the clients count each
                 # transfer in replica_writeback_blocks.
@@ -215,7 +221,16 @@ class ProtocolOracle:
                     f"received {received} ({per_server})",
                 )
         if self.replica_map is not None and servers is not None:
-            self._check_replica_divergence(now, servers)
+            self._check_replica_divergence(
+                now, servers, self.replica_map, None
+            )
+        elif self.group_replica_maps and servers is not None:
+            spg = self.servers_per_group
+            for group in sorted(self.group_replica_maps):
+                self._check_replica_divergence(
+                    now, servers, self.group_replica_maps[group],
+                    range(group * spg, (group + 1) * spg),
+                )
         if self.integrity is not None:
             # **No silent corruption at end of replay** -- every durable
             # block an up server acknowledged either verifies against
@@ -255,7 +270,10 @@ class ProtocolOracle:
                     f"{client.cache.dirty_count})",
                 )
 
-    def _check_replica_divergence(self, now: float, servers: list[Any]) -> None:
+    def _check_replica_divergence(
+        self, now: float, servers: list[Any], replica_map: Any,
+        server_ids: "range | None",
+    ) -> None:
         """Every file's *live* replicas must agree on its version stamp.
 
         Write propagation (replica_open fan-out) pushes the serving
@@ -265,16 +283,24 @@ class ProtocolOracle:
         disagreeing means propagation was lost.  Down replicas are
         excluded: their patch is still queued.  A server that never saw
         the file reads as version 0, which only agrees with version 0.
+
+        ``server_ids`` limits the sweep to one group's server slice (a
+        grouped cluster runs this once per owned group with the group's
+        own map); None sweeps the whole cluster.
         """
         self.checks_run += 1
         if self.obs is not None:
             self.obs.on_oracle_check(now, "final", -1, "replica-divergence")
         known: set[int] = set()
-        for server in servers:
-            known.update(server._files.keys())
+        if server_ids is None:
+            for server in servers:
+                known.update(server._files.keys())
+        else:
+            for sid in server_ids:
+                known.update(servers[sid]._files.keys())
         for file_id in sorted(known):
             live = [
-                s for s in self.replica_map.replicas(file_id)
+                s for s in replica_map.replicas(file_id)
                 if servers[s].up
             ]
             if len(live) < 2:
@@ -289,6 +315,15 @@ class ProtocolOracle:
                     f"file {file_id} diverged across live replicas "
                     f"({detail})",
                 )
+
+    def version_map(self) -> dict[int, int]:
+        """The highest version stamp observed per file id (a copy).
+
+        The public face of the internal version ledger: shard merges
+        (:func:`repro.pipeline.scaleout.merge_oracle_versions`) read
+        this instead of reaching into ``_versions``.
+        """
+        return dict(self._versions)
 
     def assert_clean(self) -> None:
         """Raise on the first recorded violation (collection mode)."""

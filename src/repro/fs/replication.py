@@ -42,6 +42,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from repro.common.errors import ConfigError, SimulationError
 from repro.common.render import format_number, render_table
 from repro.common.units import KB
 from repro.fs.sharding import Placement
@@ -103,6 +104,39 @@ class ReplicaMap:
         self._extra.pop(file_id, None)
 
 
+class GroupReplication:
+    """One client group's window onto the cluster ReplicationManager.
+
+    A grouped cluster keeps a single manager (one heartbeat tick, one
+    pending log, one dead-set) but one :class:`ReplicaMap` per group,
+    because shared file ids -- the negative sentinels and the read-only
+    binaries -- resolve to a *different* server slice per group.  The
+    client kernel talks to this facade exactly as it would to the
+    manager: same pending log and test hooks, the group's own map.
+    """
+
+    __slots__ = ("manager", "replica_map")
+
+    def __init__(self, manager: "ReplicationManager", replica_map: ReplicaMap):
+        self.manager = manager
+        self.replica_map = replica_map
+
+    @property
+    def skip_propagation_to(self) -> set[int]:
+        return self.manager.skip_propagation_to
+
+    def flush_pending(self, server_id: int) -> None:
+        self.manager.flush_pending(server_id)
+
+    def queue_pending(
+        self, server_id: int, file_id: int, version: int | None
+    ) -> None:
+        self.manager.queue_pending(server_id, file_id, version)
+
+    def on_delete(self, file_id: int) -> None:
+        self.replica_map.forget(file_id)
+
+
 class ReplicationManager:
     """Heartbeat failure detector + pending log + re-replication.
 
@@ -110,6 +144,13 @@ class ReplicationManager:
     Everything it does is driven by deterministic engine events (the
     heartbeat tick) or by explicit cluster calls, so replays stay
     byte-identical across worker counts.
+
+    With ``groups > 1`` the manager carries one :class:`ReplicaMap` per
+    (owned) group instead of the single ``replica_map`` -- each over
+    the group's :meth:`~repro.fs.sharding.Placement.group_view` -- and
+    every lookup resolves the map through the server id it concerns
+    (``sid // servers_per_group`` names the group).  Clients go through
+    :meth:`group_view`.
     """
 
     def __init__(
@@ -120,10 +161,26 @@ class ReplicationManager:
         replication_factor: int,
         miss_threshold: int,
         ticker,
+        groups: int = 1,
+        owned_groups: "tuple[int, ...] | None" = None,
     ) -> None:
         self.engine = engine
         self.servers = servers
-        self.replica_map = ReplicaMap(placement, replication_factor)
+        self.groups = groups
+        if groups == 1:
+            self.replica_map = ReplicaMap(placement, replication_factor)
+            self._group_maps: dict[int, ReplicaMap] | None = None
+            self._servers_per_group = placement.num_servers
+        else:
+            self.replica_map = None
+            owned = tuple(range(groups)) if owned_groups is None else owned_groups
+            self._group_maps = {
+                group: ReplicaMap(
+                    placement.group_view(group, groups), replication_factor
+                )
+                for group in owned
+            }
+            self._servers_per_group = placement.num_servers // groups
         self.miss_threshold = miss_threshold
         self._missed = [0] * len(servers)
         #: Servers currently declared dead by the detector (a superset
@@ -149,6 +206,33 @@ class ReplicationManager:
         #: built; re-replication then copies verified block content too.
         self.integrity = None
         self._subscription = ticker.subscribe(self._heartbeat_tick)
+
+    # --- grouped plumbing --------------------------------------------------------
+
+    def group_view(self, group: int) -> GroupReplication:
+        """The facade a grouped client routes through."""
+        if self._group_maps is None:
+            raise ConfigError(
+                "group_view on an ungrouped ReplicationManager"
+            )
+        return GroupReplication(self, self._group_maps[group])
+
+    def group_maps(self) -> "dict[int, ReplicaMap] | None":
+        """Per-group maps (None when ungrouped); the integrity layer
+        and oracle resolve shared file ids through these."""
+        return self._group_maps
+
+    def _map_for_server(self, server_id: int) -> ReplicaMap:
+        if self._group_maps is None:
+            return self.replica_map
+        group = server_id // self._servers_per_group
+        rmap = self._group_maps.get(group)
+        if rmap is None:
+            raise SimulationError(
+                f"server {server_id} (group {group}) is not owned by this "
+                f"shard (owned groups: {sorted(self._group_maps)})"
+            )
+        return rmap
 
     # --- the failure detector ----------------------------------------------------
 
@@ -220,11 +304,16 @@ class ReplicationManager:
         """The server rebooted: patch its durable state from the pending
         log, retire its substitutes, and reset the detector."""
         self.flush_pending(server_id)
-        self.replica_map.drop_substitutes_for(server_id)
+        self._map_for_server(server_id).drop_substitutes_for(server_id)
         self._missed[server_id] = 0
         self._dead.discard(server_id)
 
     def on_delete(self, file_id: int) -> None:
+        if self.replica_map is None:
+            raise SimulationError(
+                "grouped cluster: deletes must go through a group_view "
+                "facade, not the cluster ReplicationManager"
+            )
         self.replica_map.forget(file_id)
 
     # --- re-replication ----------------------------------------------------------
@@ -244,10 +333,20 @@ class ReplicationManager:
         declares once per outage).
         """
         servers = self.servers
-        rmap = self.replica_map
+        rmap = self._map_for_server(dead_id)
         placement = rmap.placement
         candidates: set[int] = set()
-        for server in servers:
+        if self._group_maps is None:
+            pool = list(servers)
+        else:
+            # Only the dead server's own group slice can hold (or
+            # receive) copies of its files.
+            first = (dead_id // self._servers_per_group) * self._servers_per_group
+            pool = [
+                servers[s]
+                for s in range(first, first + self._servers_per_group)
+            ]
+        for server in pool:
             if server.up:
                 candidates.update(server._files.keys())
         for file_id in sorted(candidates):
@@ -258,7 +357,7 @@ class ReplicationManager:
             if not live:
                 continue
             target_id = None
-            for cand in placement.replicas_of(file_id, placement.num_servers):
+            for cand in placement.replicas_of(file_id, placement.chain_width):
                 if cand not in replicas and servers[cand].up:
                     target_id = cand
                     break

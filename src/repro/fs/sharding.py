@@ -17,9 +17,72 @@ well enough that consecutive file ids spread evenly.
 
 from __future__ import annotations
 
-from repro.common.errors import ConfigError
+from typing import Iterable, Iterator, TypeVar
+
+from repro.common.errors import ConfigError, SimulationError
 
 _MASK64 = (1 << 64) - 1
+
+_T = TypeVar("_T")
+
+
+class MachineRoster:
+    """An owned-only shard's window onto a global machine list.
+
+    A partitioned shard constructs only its groups' machines, but the
+    rest of the simulator speaks *global* ids.  The roster keeps the
+    global arithmetic intact while holding only the owned machines:
+
+    * ``len(roster)`` is the **global** machine count, so every
+      ``id % len(...)`` modulo stays the identity it always was;
+    * ``roster[global_id]`` returns the owned machine, and raises a
+      loud :class:`SimulationError` for a machine this shard does not
+      own -- the routing stub that turns a confinement bug into an
+      immediate, attributable failure instead of silently-diverging
+      state;
+    * iteration yields the owned machines in global-id order, which is
+      exactly the order the unpartitioned replay visits them in.
+    """
+
+    __slots__ = ("kind", "_total", "_items", "_by_id")
+
+    def __init__(
+        self, kind: str, total: int, items: Iterable[_T],
+        ids: Iterable[int],
+    ) -> None:
+        self.kind = kind
+        self._total = total
+        self._items = list(items)
+        self._by_id = dict(zip(ids, self._items))
+        if len(self._by_id) != len(self._items):
+            raise ConfigError(
+                f"{kind} roster ids do not match its items "
+                f"({len(self._by_id)} ids, {len(self._items)} items)"
+            )
+
+    def __len__(self) -> int:
+        return self._total
+
+    def __iter__(self) -> Iterator[_T]:
+        return iter(self._items)
+
+    def __getitem__(self, machine_id: int) -> _T:
+        try:
+            return self._by_id[machine_id]
+        except (KeyError, TypeError):
+            raise SimulationError(
+                f"{self.kind} {machine_id} is not owned by this shard "
+                f"(owned {self.kind}s: {sorted(self._by_id)})"
+            ) from None
+
+    @property
+    def owned_ids(self) -> list[int]:
+        return sorted(self._by_id)
+
+    def like(self, items: Iterable[_T], kind: str | None = None) -> "MachineRoster":
+        """A parallel roster over the same ids (e.g. the transports
+        matching an owned server slice)."""
+        return MachineRoster(kind or self.kind, self._total, items, self._by_id)
 
 
 def _mix64(x: int) -> int:
@@ -54,6 +117,13 @@ class Placement:
         return _mix64(file_id ^ self._salt) % self.num_servers
 
     __call__ = shard_of
+
+    @property
+    def chain_width(self) -> int:
+        """How long a full preference chain is (``replicas_of``'s upper
+        bound on ``r``): every server for the global placement, the
+        slice size for a group view."""
+        return self.num_servers
 
     def replicas_of(self, file_id: int, r: int) -> tuple[int, ...]:
         """The ``r`` distinct servers holding ``file_id``.
@@ -114,8 +184,9 @@ class GroupPlacement:
     ``shard_of`` hashes within the group's slice (``slice_start ..
     slice_start + slice_size - 1``); negative file ids land on the
     slice's first server (the group-local analogue of the classic
-    "sentinels go to server 0").  Replication is not supported in
-    grouped clusters, so ``replicas_of`` refuses.
+    "sentinels go to server 0").  ``replicas_of`` confines the
+    replication chain to the same slice: a group's copies live only on
+    the group's servers, so replication never couples groups.
     """
 
     __slots__ = ("base", "group", "groups", "num_servers", "_start", "_size", "_salt")
@@ -136,11 +207,41 @@ class GroupPlacement:
 
     __call__ = shard_of
 
+    @property
+    def chain_width(self) -> int:
+        return self._size
+
     def replicas_of(self, file_id: int, r: int) -> tuple[int, ...]:
-        raise ConfigError(
-            "replication is not supported in a grouped cluster "
-            "(client_groups > 1 requires replication_factor == 1)"
-        )
+        """The ``r`` distinct slice servers holding ``file_id``.
+
+        Mirrors :meth:`Placement.replicas_of` exactly, but the
+        candidate pool is the group's slice: the primary is
+        ``shard_of(file_id)`` and the rest of the chain is drawn
+        without replacement from the slice's other members by the same
+        re-chained splitmix64 hash.  Negative (sentinel) file ids take
+        the slice's first ``r`` servers, the group-local analogue of
+        the global map's ``range(r)``.
+        """
+        if r < 1 or r > self._size:
+            raise ConfigError(
+                f"replica count {r} must be in [1, {self._size}] "
+                f"(group {self.group}'s server slice)"
+            )
+        primary = self.shard_of(file_id)
+        if r == 1:
+            return (primary,)
+        if file_id < 0:
+            return tuple(range(self._start, self._start + r))
+        remaining = [
+            s for s in range(self._start, self._start + self._size)
+            if s != primary
+        ]
+        chosen = [primary]
+        h = _mix64(file_id ^ self._salt)
+        for _ in range(r - 1):
+            h = _mix64(h + 0x9E3779B97F4A7C15)
+            chosen.append(remaining.pop(h % len(remaining)))
+        return tuple(chosen)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

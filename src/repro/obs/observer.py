@@ -75,13 +75,21 @@ class Observation:
         self._engine = cluster.engine
         cluster.engine.attach_observer(self)
         servers = list(getattr(cluster, "servers", None) or [cluster.server])
-        if len(servers) == 1:
+        # Name servers by the *cluster's* server count, not by how many
+        # this instance holds: an owned-only shard with one server of a
+        # multi-server cluster must still sample "server-<id>", so its
+        # series merge against the unpartitioned reference by name.
+        config = getattr(cluster, "config", None)
+        total_servers = getattr(config, "num_servers", len(servers))
+        if total_servers == 1:
             self.tracer.name_machine(SERVER_PID, "server")
+            server_names = ["server"]
         else:
+            server_names = []
             for server in servers:
-                self.tracer.name_machine(
-                    server_pid(server.server_id), f"server-{server.server_id}"
-                )
+                name = f"server-{server.server_id}"
+                self.tracer.name_machine(server_pid(server.server_id), name)
+                server_names.append(name)
         for server in servers:
             server.obs = self
         for client in cluster.clients:
@@ -89,7 +97,12 @@ class Observation:
                 client_pid(client.client_id), f"client-{client.client_id}"
             )
             client.obs = self
-            for transport in getattr(client, "transports", [client.transport]):
+            # getattr's default would evaluate client.transport eagerly,
+            # which indexes transports[0] -- not owned by every shard.
+            transports = getattr(client, "transports", None)
+            if transports is None:
+                transports = [client.transport]
+            for transport in transports:
                 transport.obs = self
         if cluster.oracle is not None:
             cluster.oracle.obs = self
@@ -106,6 +119,7 @@ class Observation:
                 shared_ticker(self.config.sample_interval)
                 if shared_ticker is not None else None
             ),
+            server_names=server_names,
         )
 
     def finalize(self, now: float) -> None:

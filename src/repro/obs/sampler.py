@@ -223,17 +223,33 @@ class CounterSampler:
         clients: Sequence["ClientKernel"],
         server: "Server | Sequence[Server]",
         ticker: SharedTicker | None = None,
+        server_names: Sequence[str] | None = None,
     ) -> None:
         """Start sampling.  ``ticker`` shares a cluster's coalesced tick
         (one heap event per interval cluster-wide); without one the
-        sampler runs its own private timer."""
+        sampler runs its own private timer.
+
+        ``server_names`` overrides the per-server machine names.  The
+        default infers them from the list handed in -- one server means
+        the historical ``"server"`` -- which is right for direct
+        callers but wrong for an owned-only shard holding one server
+        *of a larger cluster*; such callers (the observer) pass the
+        cluster-aware names explicitly.
+        """
         if self._engine is not None:
             raise SimulationError("sampler already attached")
         self._engine = engine
         self._clients = list(clients)
         servers = [server] if not isinstance(server, (list, tuple)) else list(server)
         self._servers = servers
-        if len(servers) == 1:
+        if server_names is not None:
+            if len(server_names) != len(servers):
+                raise SimulationError(
+                    f"got {len(server_names)} server names for "
+                    f"{len(servers)} servers"
+                )
+            self._server_names = list(server_names)
+        elif len(servers) == 1:
             self._server_names = ["server"]
         else:
             self._server_names = [f"server-{s.server_id}" for s in servers]
@@ -290,6 +306,7 @@ def verify_integration(
     final_counters: dict[int, ClientCounters],
     server_counters: ServerCounters,
     per_server_counters: Sequence[ServerCounters] | None = None,
+    server_ids: Sequence[int] | None = None,
 ) -> list[str]:
     """Check sum-of-deltas == end-of-run aggregate for every counter.
 
@@ -301,7 +318,9 @@ def verify_integration(
     ``server``; pass the result's ``per_server_counters`` and each
     shard's series is checked against its own final counters (the
     aggregate ``server_counters`` is then implied, being the field-wise
-    sum of the shards).
+    sum of the shards).  An owned-only shard's ``per_server_counters``
+    rows are its *owned* servers, not ``0..N-1``; pass the result's
+    ``server_ids`` so each row is matched to the right series.
     """
     problems: list[str] = []
 
@@ -327,7 +346,17 @@ def verify_integration(
     if "server" in timeseries.machines:
         check(timeseries.series("server"), SERVER_FIELDS, server_counters)
     elif per_server_counters is not None:
-        for server_id, counters in enumerate(per_server_counters):
+        ids = (
+            list(server_ids) if server_ids
+            else list(range(len(per_server_counters)))
+        )
+        if len(ids) != len(per_server_counters):
+            problems.append(
+                f"{len(ids)} server ids for "
+                f"{len(per_server_counters)} per-server counter rows"
+            )
+            return problems
+        for server_id, counters in zip(ids, per_server_counters):
             check(
                 timeseries.series(f"server-{server_id}"),
                 SERVER_FIELDS, counters,

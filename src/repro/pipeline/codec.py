@@ -432,6 +432,9 @@ def _encode_replay(result: ClusterResult) -> bytes:
             "duration": result.duration,
             "records_replayed": result.records_replayed,
             "counters": counters,
+            "server_ids": result.server_ids,
+            "construction_seconds": result.construction_seconds,
+            "tick_events": result.tick_events,
         },
         protocol=pickle.HIGHEST_PROTOCOL,
     )
@@ -473,6 +476,11 @@ def _decode_replay(body: bytes) -> ClusterResult:
         per_server_counters=tuple(
             make_server(row) for row in per_server_rows
         ),
+        # Pre-owned-shard payloads carry none of these; the defaults
+        # (positional server ids, zero gauges) reproduce their meaning.
+        server_ids=tuple(state.get("server_ids", ())),
+        construction_seconds=state.get("construction_seconds", 0.0),
+        tick_events=state.get("tick_events", 0),
     )
 
 

@@ -18,11 +18,13 @@ makes big scales practical by making the *population* partitionable:
   every client routes into its group's private server slice and the
   per-close fsync decision is a pure hash -- groups share *nothing*;
 * replay then shards by group: each shard task replays only its groups'
-  records against a full (identically-constructed) cluster, and
-  :func:`repro.fs.cluster.merge_cluster_results` selects every
+  records against an *owned-only* cluster -- only the owned groups'
+  machines are constructed; roster stubs refuse foreign traffic loudly
+  -- and :func:`repro.fs.cluster.merge_cluster_results` selects every
   machine's state from the shard that owns it.  The merged result is
   byte-identical to replaying the whole merged trace in one process
-  (``tests/test_partitioned_replay.py`` pins this).
+  (``tests/test_partitioned_replay.py`` pins this), including under
+  per-group faults, replication, and scrubbing.
 
 The determinism argument, in one line per layer: group traces are pure
 functions of ``(profile, group seed, group scale)``; the merged record
@@ -36,12 +38,14 @@ group's records, which every shard computes identically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from bisect import bisect_right
+from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, SimulationError
 from repro.fs.cluster import Cluster, ClusterResult, merge_cluster_results
 from repro.fs.config import ClusterConfig
+from repro.fs.faults import FaultConfig
 from repro.fs.paging import EXECUTABLE_FILE_ID_BASE
 from repro.pipeline.runner import PipelineReport, run_stage
 from repro.trace.columnar import ColumnarTrace
@@ -72,6 +76,12 @@ class ScaleOutPlan:
     #: ``groups * servers_per_group`` servers).
     servers_per_group: int = 1
     replay_seed: int = 7
+    #: Per-group replication factor (must fit ``servers_per_group``),
+    #: scrub period, and fault rates -- all confined to each group's
+    #: own server slice and RNG fork, so they compose with sharding.
+    replication_factor: int = 1
+    scrub_interval: float = 0.0
+    faults: FaultConfig = field(default_factory=FaultConfig)
 
     def __post_init__(self) -> None:
         if self.groups < 1:
@@ -83,20 +93,43 @@ class ScaleOutPlan:
             )
         if self.scale <= 0:
             raise ConfigError(f"scale must be positive, got {self.scale}")
+        if self.groups > self.client_count:
+            raise ConfigError(
+                f"groups={self.groups} exceeds the {self.client_count}-"
+                f"client population at scale {self.scale:g} (every group "
+                f"needs at least one client)"
+            )
 
     @property
     def group_scale(self) -> float:
         return self.scale / self.groups
 
     @property
-    def clients_per_group(self) -> int:
-        """Mirrors the registry's ``max(4, round(40 * scale))`` client
-        scaling, applied per group at the group's scale."""
-        return max(4, round(40 * self.group_scale))
+    def client_count(self) -> int:
+        """The registry's ``max(4, round(40 * scale))`` client scaling,
+        applied to the *total* scale -- a scale-100 plan fields exactly
+        the clients a scale-100 unpartitioned experiment would."""
+        return max(4, round(40 * self.scale))
 
     @property
-    def client_count(self) -> int:
-        return self.groups * self.clients_per_group
+    def group_client_counts(self) -> tuple[int, ...]:
+        """Per-group client counts: the registry total split as evenly
+        as possible, the remainder going to the first groups."""
+        base, extra = divmod(self.client_count, self.groups)
+        return tuple(
+            base + 1 if group < extra else base
+            for group in range(self.groups)
+        )
+
+    @property
+    def group_client_offsets(self) -> tuple[int, ...]:
+        """Prefix sums of :attr:`group_client_counts` (length
+        ``groups + 1``): group ``g`` owns client ids
+        ``[offsets[g], offsets[g + 1])``."""
+        offsets = [0]
+        for count in self.group_client_counts:
+            offsets.append(offsets[-1] + count)
+        return tuple(offsets)
 
     @property
     def num_servers(self) -> int:
@@ -106,10 +139,17 @@ class ScaleOutPlan:
         return self.seed + GROUP_SEED_STRIDE * group
 
     def cluster_config(self) -> ClusterConfig:
+        sizes = self.group_client_counts
         return ClusterConfig(
             client_count=self.client_count,
             num_servers=self.num_servers,
             client_groups=self.groups,
+            # Only an unequal split needs spelling out; an equal one is
+            # the historical divisible layout.
+            client_group_sizes=(sizes if len(set(sizes)) > 1 else ()),
+            replication_factor=self.replication_factor,
+            scrub_interval=self.scrub_interval,
+            faults=self.faults,
         )
 
     def key_fields(self) -> dict[str, Any]:
@@ -121,6 +161,9 @@ class ScaleOutPlan:
             "groups": self.groups,
             "servers_per_group": self.servers_per_group,
             "replay_seed": self.replay_seed,
+            "replication_factor": self.replication_factor,
+            "scrub_interval": self.scrub_interval,
+            "faults": self.faults,
         }
 
 
@@ -168,6 +211,11 @@ class GroupTraceTask:
     client_count: int
     group: int
     groups: int
+    #: First merged-cluster client id of this group's block.  With the
+    #: registry-derived unequal split the blocks are no longer uniform,
+    #: so the base is planned (``ScaleOutPlan.group_client_offsets``),
+    #: not derived from ``group * client_count``.
+    client_base: int = 0
 
     def key_fields(self) -> dict[str, Any]:
         return {
@@ -178,6 +226,7 @@ class GroupTraceTask:
             "client_count": self.client_count,
             "group": self.group,
             "groups": self.groups,
+            "client_base": self.client_base,
         }
 
     def run(self) -> SyntheticTrace:
@@ -190,7 +239,7 @@ class GroupTraceTask:
         )
         assert trace.columnar is not None
         remapped = trace.columnar.remap_group(
-            self.group, self.groups, client_base=self.group * self.client_count
+            self.group, self.groups, client_base=self.client_base
         )
         check_id_space(remapped, self.group)
         trace.columnar = remapped
@@ -202,12 +251,16 @@ class GroupTraceTask:
 
 @dataclass
 class ShardReplayTask:
-    """Replay one shard's groups against a full grouped cluster.
+    """Replay one shard's groups against an owned-only cluster.
 
-    The task carries only its own groups' columnar traces; the replay
-    streams records chunk-at-a-time (:meth:`ColumnarTrace.iter_records`),
-    so peak memory is bounded by the columns plus one chunk, never a
-    whole day's record list.
+    The cluster constructs only the shard's groups' clients and servers
+    (:class:`~repro.fs.sharding.MachineRoster` stubs refuse foreign
+    traffic loudly), so per-shard memory and construction time scale
+    with the owned slice, not the whole cluster -- and the result
+    already carries exactly the owned machines' counters, no slimming
+    pass needed.  The replay streams records chunk-at-a-time
+    (:meth:`ColumnarTrace.iter_records`), so peak memory is bounded by
+    the columns plus one chunk, never a whole day's record list.
     """
 
     plan_fields: dict[str, Any]
@@ -232,37 +285,13 @@ class ShardReplayTask:
             [trace for _, trace in self.group_traces],
             ranks=[group for group, _ in self.group_traces],
         )
-        cluster = Cluster(self.config, seed=self.seed)
-        result = cluster.replay(
+        cluster = Cluster(
+            self.config,
+            seed=self.seed,
+            owned_groups=[group for group, _ in self.group_traces],
+        )
+        return cluster.replay(
             merged.iter_records(self.chunk_size), self.duration
-        )
-        return self._slim(result)
-
-    def _slim(self, result: ClusterResult) -> ClusterResult:
-        """Drop foreign clients' counters and snapshots from the shard
-        result.  The merge only ever selects the owned groups' clients,
-        and a full day of per-client snapshots for every *foreign*
-        (idle) client dominates shard-result memory at large scale."""
-        clients_per_group = (
-            self.config.client_count // self.config.client_groups
-        )
-        owned_clients: list[int] = []
-        for group, _ in self.group_traces:
-            owned_clients.extend(
-                range(
-                    group * clients_per_group, (group + 1) * clients_per_group
-                )
-            )
-        return ClusterResult(
-            config=result.config,
-            duration=result.duration,
-            snapshots={c: result.snapshots[c] for c in owned_clients},
-            final_counters={
-                c: result.final_counters[c] for c in owned_clients
-            },
-            server_counters=result.server_counters,
-            records_replayed=result.records_replayed,
-            per_server_counters=result.per_server_counters,
         )
 
     def codec_context(self) -> dict[str, Any] | None:
@@ -282,14 +311,17 @@ def build_group_traces(
     report: PipelineReport | None = None,
 ) -> list[SyntheticTrace]:
     """Generate (or load) every group's remapped columnar trace."""
+    counts = plan.group_client_counts
+    offsets = plan.group_client_offsets
     tasks = [
         GroupTraceTask(
             profile=plan.profile,
             seed=plan.group_seed(group),
             scale=plan.group_scale,
-            client_count=plan.clients_per_group,
+            client_count=counts[group],
             group=group,
             groups=plan.groups,
+            client_base=offsets[group],
         )
         for group in range(plan.groups)
     ]
@@ -372,10 +404,12 @@ def merge_obs_timeseries(
 ):
     """Merge per-shard obs timeseries by machine ownership.
 
-    Each shard's sampler saw the full cluster, but only its own groups'
-    machines did anything; the merged series takes every machine from
-    the shard owning its group, in machine order -- exactly the series
-    an unpartitioned observed replay produces.
+    An owned-only shard's sampler saw just its own groups' machines, so
+    the merged series walks the union of every shard's machine names
+    (sorted -- the order an unpartitioned observed replay registers
+    them in) and takes each machine from the shard owning its group.
+    A machine no shard accounts for is a partitioning bug and raises a
+    contextual error rather than a bare ``KeyError``.
     """
     from repro.obs.sampler import CounterTimeseries
 
@@ -383,17 +417,25 @@ def merge_obs_timeseries(
     for ts, groups in zip(series, owned_groups):
         for group in groups:
             owner[group] = ts
-    clients_per_group = plan.clients_per_group
+    offsets = plan.group_client_offsets
     servers_per_group = plan.servers_per_group
     merged = CounterTimeseries(series[0].sample_interval)
-    for name in sorted(series[0].machines):
+    names = sorted(set().union(*(ts.machines.keys() for ts in series)))
+    for name in names:
         if name.startswith("client-"):
-            group = int(name.split("-")[1]) // clients_per_group
+            group = bisect_right(offsets, int(name.split("-")[1])) - 1
         elif name.startswith("server-"):
             group = int(name.split("-")[1]) // servers_per_group
         else:  # a lone "server" only exists in ungrouped clusters
             group = 0
-        merged.machines[name] = owner[group].machines[name]
+        ts = owner.get(group)
+        if ts is None or name not in ts.machines:
+            raise SimulationError(
+                f"machine {name!r} belongs to group {group}, which no "
+                f"shard in the merge owns (owned groups: "
+                f"{sorted(owner)}; shards sampled {len(names)} machines)"
+            )
+        merged.machines[name] = ts.machines[name]
     return merged
 
 
@@ -402,14 +444,32 @@ def merge_oracle_versions(
 ) -> dict[int, int]:
     """Merge per-shard oracle version maps by file-id residue class.
 
-    A shard's oracle only ever observes its own groups' file ids
-    (``file_id % groups`` names the owner), so the merged map is a
-    disjoint union -- equal to the unpartitioned oracle's map.
+    A shard's oracle observes its own groups' file ids (``file_id %
+    groups`` names the owner), so those merge as a disjoint union.
+    Negative (sentinel) ids are shared: every shard whose clients did
+    directory passthrough may have observed them, and determinism
+    demands the shards *agree* -- a disagreement means the partitioning
+    leaked state between groups, so it raises a seed-carrying error
+    instead of silently keeping the last writer.
     """
     merged: dict[int, int] = {}
+    shared_sources: dict[int, Any] = {}
     for oracle, owned in zip(oracles, owned_groups):
         owned_set = set(owned)
-        for file_id, version in oracle._versions.items():
-            if file_id % groups in owned_set or file_id < 0:
+        for file_id, version in oracle.version_map().items():
+            if file_id < 0:
+                prior = merged.get(file_id)
+                if prior is not None and prior != version:
+                    raise SimulationError(
+                        f"shards disagree on shared sentinel file "
+                        f"{file_id}: one shard (owning groups "
+                        f"{sorted(shared_sources[file_id])}) observed "
+                        f"version {prior}, another (owning groups "
+                        f"{sorted(owned_set)}) observed {version} "
+                        f"(oracle seed {oracle.seed})"
+                    )
+                merged[file_id] = version
+                shared_sources.setdefault(file_id, owned_set)
+            elif file_id % groups in owned_set:
                 merged[file_id] = version
     return merged

@@ -247,4 +247,6 @@ class TestReplicaDivergence:
         oracle.replica_map = _StubMap()
         servers = [_StubServer(0, {7: 3}), _StubServer(1, {7: 2})]
         with pytest.raises(InvariantViolation, match="replica-divergence"):
-            oracle._check_replica_divergence(5.0, servers)
+            oracle._check_replica_divergence(
+                5.0, servers, oracle.replica_map, None
+            )
