@@ -141,10 +141,12 @@ def test_bench_replay_scale1(regen_bench):
     )
 
 
-#: The scale-out population rule: every group is a golden-sized block
-#: (generated at scale 0.05, four clients), so ``scale=10`` means 200
-#: groups and 800 clients.  Shards cap at 4: on the bench host shards
-#: beyond the core count only repeat the fixed day-simulation cost.
+#: The scale-out population rule mirrors the registry: the plan sizes
+#: the population at the *total* scale (``max(4, round(40 * scale))``)
+#: and splits it across ``round(scale / 0.05)`` groups, so ``scale=10``
+#: means 200 groups and 400 clients, ``scale=100`` 2000 groups and 4000
+#: clients.  Shards cap at 4: on the bench host shards beyond the core
+#: count only repeat the fixed day-simulation cost.
 def _scale_out_plan(scale: float) -> ScaleOutPlan:
     return ScaleOutPlan(
         profile=STANDARD_PROFILES[0],
@@ -227,14 +229,14 @@ def test_bench_replay_scale_curve(regen_bench):
     }
 
     # Work and cost grow with scale, and the tentpole targets hold: the
-    # scale=10 population (800 clients) stays under the 2 GB peak-RSS
+    # scale=10 population (400 clients) stays under the 2 GB peak-RSS
     # bar, and the scale=100 population (4000 clients, 2000 owned-only
     # groups) under its own explicit bar.
     for smaller, larger in zip(rows, rows[1:]):
         assert smaller["records"] < larger["records"]
         assert smaller["wall_seconds"] < larger["wall_seconds"]
     scale10 = next(r for r in rows if r["scale"] == 10.0)
-    assert scale10["clients"] >= 800
+    assert scale10["clients"] >= 400
     assert scale10["peak_rss_mb"] < MAX_SCALE10_RSS_MB
     scale100 = rows[-1]
     assert scale100["clients"] >= 4000
